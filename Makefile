@@ -1,0 +1,39 @@
+# Whirlpool — build, test and reproduce targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments experiments-full fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus engine micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at reduced scale (minutes).
+experiments:
+	$(GO) run ./cmd/whirlbench
+
+# Paper-scale documents and per-operation cost (hours).
+experiments-full:
+	$(GO) run ./cmd/whirlbench -full
+
+# Brief fuzz passes over both parsers.
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/pattern/
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/xmltree/
+
+clean:
+	$(GO) clean ./...

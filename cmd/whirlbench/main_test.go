@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func fastCfg() bench.Config {
+	return bench.Config{Scale: 0.004, Seed: 2, K: 5, OpCost: time.Microsecond, StaticOrders: 4}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, fastCfg(), 3, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, fastCfg(), 0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, fastCfg(), 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Queue-discipline", "Scoring-function", "Rewriting"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownSelectors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, fastCfg(), 4, 0, false); err == nil {
+		t.Fatal("figure 4 does not exist")
+	}
+	if err := run(&buf, fastCfg(), 0, 1, false); err == nil {
+		t.Fatal("table 1 is not an experiment")
+	}
+}

@@ -1,0 +1,60 @@
+// Command whirlpoold serves top-k XML queries over HTTP. It loads one
+// document (XML or .wpx snapshot) at startup and answers concurrent
+// queries with the Whirlpool engine.
+//
+//	whirlpoold -file site.xml -addr :8080
+//
+// Endpoints:
+//
+//	GET  /healthz          → 200 "ok"
+//	GET  /stats            → document statistics (JSON)
+//	POST /query            → top-k evaluation (JSON in/out)
+//	POST /keyword          → bag-of-words top-k (JSON in/out)
+//
+// POST /query body:
+//
+//	{
+//	  "query": "//item[./description/parlist]",
+//	  "k": 10,
+//	  "exact": false,
+//	  "algorithm": "whirlpool-s",     // optional
+//	  "timeout_ms": 2000              // optional
+//	}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		file = flag.String("file", "", "XML file or .wpx snapshot to serve (required)")
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var db *whirlpool.Database
+	var err error
+	if strings.HasSuffix(*file, ".wpx") {
+		db, err = whirlpool.Open(*file)
+	} else {
+		db, err = whirlpool.LoadFile(*file)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := newServer(db)
+	log.Printf("whirlpoold: serving %s (%d nodes) on %s", *file, db.Size(), *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

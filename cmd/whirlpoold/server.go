@@ -1,0 +1,232 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// server routes HTTP requests to a shared database. Engines are cached
+// per (query, options) signature so repeated queries skip plan and
+// scorer construction.
+type server struct {
+	db  *whirlpool.Database
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	engines map[string]*whirlpool.Engine
+	queries map[string]*whirlpool.Query
+	kwIdx   map[string]*whirlpool.KeywordIndex
+}
+
+func newServer(db *whirlpool.Database) *server {
+	s := &server{
+		db:      db,
+		mux:     http.NewServeMux(),
+		engines: make(map[string]*whirlpool.Engine),
+		queries: make(map[string]*whirlpool.Query),
+		kwIdx:   make(map[string]*whirlpool.KeywordIndex),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/keyword", s.handleKeyword)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes": s.db.Size(),
+		"roots": len(s.db.Document().Roots),
+	})
+}
+
+// queryRequest is the POST /query payload.
+type queryRequest struct {
+	Query     string `json:"query"`
+	K         int    `json:"k"`
+	Exact     bool   `json:"exact"`
+	Algorithm string `json:"algorithm"`
+	TimeoutMS int    `json:"timeout_ms"`
+}
+
+// queryAnswer is one result row.
+type queryAnswer struct {
+	Score    float64           `json:"score"`
+	Path     string            `json:"path"`
+	Dewey    string            `json:"dewey"`
+	Bindings map[string]string `json:"bindings,omitempty"`
+}
+
+type queryResponse struct {
+	Answers   []queryAnswer `json:"answers"`
+	ServerOps int64         `json:"server_ops"`
+	Matches   int64         `json:"matches_created"`
+	Pruned    int64         `json:"pruned"`
+	TookMS    float64       `json:"took_ms"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, errors.New("query is required"))
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	eng, q, err := s.engineFor(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := eng.RunContext(ctx)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := queryResponse{
+		Answers:   make([]queryAnswer, 0, len(res.Answers)),
+		ServerOps: res.Stats.ServerOps,
+		Matches:   res.Stats.MatchesCreated,
+		Pruned:    res.Stats.Pruned,
+		TookMS:    float64(res.Stats.Duration.Microseconds()) / 1000,
+	}
+	for _, a := range res.Answers {
+		qa := queryAnswer{
+			Score:    a.Score,
+			Path:     a.Root.Path(),
+			Dewey:    a.Root.ID.String(),
+			Bindings: map[string]string{},
+		}
+		for id, b := range a.Bindings {
+			if b == nil || id == 0 {
+				continue
+			}
+			qa.Bindings[q.Nodes[id].Tag] = b.ID.String()
+		}
+		resp.Answers = append(resp.Answers, qa)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// engineFor returns a cached engine for the request signature.
+func (s *server) engineFor(req queryRequest) (*whirlpool.Engine, *whirlpool.Query, error) {
+	opts := whirlpool.Approximate(req.K)
+	if req.Exact {
+		opts.Relax = whirlpool.RelaxNone
+	}
+	switch req.Algorithm {
+	case "", "whirlpool-s":
+		opts.Algorithm = whirlpool.WhirlpoolS
+	case "whirlpool-m":
+		opts.Algorithm = whirlpool.WhirlpoolM
+	case "lockstep":
+		opts.Algorithm = whirlpool.LockStep
+	case "lockstep-noprun":
+		opts.Algorithm = whirlpool.LockStepNoPrune
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+	key := fmt.Sprintf("%s|%d|%v|%s", req.Query, req.K, req.Exact, req.Algorithm)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if eng, ok := s.engines[key]; ok {
+		return eng, s.queries[key], nil
+	}
+	q, err := whirlpool.ParseQuery(req.Query)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := s.db.NewEngine(q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.engines[key] = eng
+	s.queries[key] = q
+	return eng, q, nil
+}
+
+// keywordRequest is the POST /keyword payload.
+type keywordRequest struct {
+	Scope string `json:"scope"`
+	Query string `json:"query"`
+	K     int    `json:"k"`
+}
+
+func (s *server) handleKeyword(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req keywordRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Scope == "" || req.Query == "" {
+		writeError(w, http.StatusBadRequest, errors.New("scope and query are required"))
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	ki := s.keywordIndex(req.Scope)
+	answers, _ := ki.TopKTA(req.Query, req.K)
+	out := make([]queryAnswer, 0, len(answers))
+	for _, a := range answers {
+		out = append(out, queryAnswer{Score: a.Score, Path: a.Node.Path(), Dewey: a.Node.ID.String()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"answers": out})
+}
+
+func (s *server) keywordIndex(scope string) *whirlpool.KeywordIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ki, ok := s.kwIdx[scope]; ok {
+		return ki
+	}
+	ki := s.db.BuildKeywordIndex(scope)
+	s.kwIdx[scope] = ki
+	return ki
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

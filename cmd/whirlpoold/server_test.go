@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	db, err := whirlpool.GenerateXMark(whirlpool.XMarkOptions{Seed: 3, Items: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(db)
+}
+
+func post(t *testing.T, s *server, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func TestHealthAndStats(t *testing.T) {
+	s := testServer(t)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", w.Code, w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats map[string]int
+	if err := json.NewDecoder(w.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["nodes"] == 0 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := testServer(t)
+	w := post(t, s, "/query", queryRequest{Query: "//item[./description/parlist]", K: 5})
+	if w.Code != 200 {
+		t.Fatalf("query: %d %s", w.Code, w.Body.String())
+	}
+	var resp queryResponse
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 5 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+	if resp.ServerOps == 0 {
+		t.Fatal("missing stats")
+	}
+	a := resp.Answers[0]
+	if a.Score <= 0 || a.Path == "" || a.Dewey == "" {
+		t.Fatalf("answer = %+v", a)
+	}
+	if a.Bindings["parlist"] == "" {
+		t.Fatalf("bindings = %v", a.Bindings)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		body   any
+		status int
+	}{
+		{queryRequest{}, http.StatusBadRequest},                                    // missing query
+		{queryRequest{Query: "not an xpath"}, http.StatusBadRequest},               // parse error
+		{queryRequest{Query: "//item", Algorithm: "bogus"}, http.StatusBadRequest}, // bad algorithm
+		{"not even json {{", http.StatusBadRequest},                                // malformed body
+	}
+	for i, c := range cases {
+		w := post(t, s, "/query", c.body)
+		if w.Code != c.status {
+			t.Errorf("case %d: status %d, want %d (%s)", i, w.Code, c.status, w.Body.String())
+		}
+	}
+	// GET is not allowed.
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: %d", w.Code)
+	}
+}
+
+func TestQueryEngineCacheAndConcurrency(t *testing.T) {
+	s := testServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := queryRequest{Query: "//item[./description/parlist and ./mailbox/mail/text]", K: 3}
+			if i%2 == 0 {
+				body.Algorithm = "whirlpool-m"
+			}
+			w := post(t, s, "/query", body)
+			if w.Code != 200 {
+				t.Errorf("concurrent query: %d %s", w.Code, w.Body.String())
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.mu.Lock()
+	cached := len(s.engines)
+	s.mu.Unlock()
+	if cached != 2 {
+		t.Fatalf("engine cache entries = %d, want 2", cached)
+	}
+}
+
+func TestKeywordEndpoint(t *testing.T) {
+	s := testServer(t)
+	w := post(t, s, "/keyword", keywordRequest{Scope: "item", Query: "gold silver", K: 3})
+	if w.Code != 200 {
+		t.Fatalf("keyword: %d %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Answers []queryAnswer `json:"answers"`
+	}
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no keyword answers")
+	}
+	// Missing fields rejected.
+	if w := post(t, s, "/keyword", keywordRequest{Scope: "item"}); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing query: %d", w.Code)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	s := testServer(t)
+	// A 0ms... 1ms timeout may or may not fire; accept either success or
+	// gateway timeout, but never another error.
+	w := post(t, s, "/query", queryRequest{Query: "//item[./mailbox/mail/text[./bold and ./keyword] and ./name]", K: 15, TimeoutMS: 1})
+	if w.Code != 200 && w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timeout query: %d %s", w.Code, w.Body.String())
+	}
+}

@@ -1,0 +1,56 @@
+// Command xmarkgen generates deterministic XMark-equivalent auction-site
+// documents (the paper's benchmark data substitute).
+//
+// Usage:
+//
+//	xmarkgen -items 1000 > site.xml
+//	xmarkgen -bytes 10485760 -seed 7 -o site-10mb.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/xmark"
+)
+
+func main() {
+	var (
+		items = flag.Int("items", 0, "number of items to generate")
+		bytes = flag.Int("bytes", 0, "target serialized size in bytes (alternative to -items)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if (*items == 0) == (*bytes == 0) {
+		fmt.Fprintln(os.Stderr, "xmarkgen: set exactly one of -items or -bytes")
+		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	if err := generate(w, *seed, *items, *bytes); err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(w io.Writer, seed int64, items, targetBytes int) error {
+	if items > 0 {
+		return xmark.Write(w, xmark.Options{Seed: seed, Items: items})
+	}
+	_, err := xmark.WriteBytes(w, seed, targetBytes)
+	return err
+}

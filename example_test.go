@@ -1,0 +1,88 @@
+package whirlpool_test
+
+import (
+	"fmt"
+	"log"
+
+	whirlpool "repro"
+)
+
+const exampleCatalog = `
+<book>
+  <title>wodehouse</title>
+  <info><publisher><name>psmith</name></publisher></info>
+  <price>48.95</price>
+</book>
+<book>
+  <title>wodehouse</title>
+  <publisher><name>psmith</name></publisher>
+</book>
+<book>
+  <reviews><title>wodehouse</title></reviews>
+</book>`
+
+func ExampleDatabase_TopK() {
+	db, err := whirlpool.LoadString(exampleCatalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := whirlpool.MustParseQuery("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+	res, err := db.TopK(q, whirlpool.Approximate(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, a := range res.Answers {
+		fmt.Printf("%d. book@%s score=%.3f\n", i+1, a.Root.ID, a.Score)
+	}
+	// Output:
+	// 1. book@0 score=5.000
+	// 2. book@1 score=3.322
+	// 3. book@2 score=1.756
+}
+
+func ExampleExact() {
+	db, err := whirlpool.LoadString(exampleCatalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.TopKString("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']", whirlpool.Exact(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d exact match(es)\n", len(res.Answers))
+	// Output:
+	// 1 exact match(es)
+}
+
+func ExampleExplain() {
+	db, err := whirlpool.LoadString(exampleCatalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := whirlpool.MustParseQuery("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+	res, err := db.TopK(q, whirlpool.Approximate(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The last answer only has a nested title: everything else was
+	// relaxed away.
+	for _, e := range whirlpool.Explain(q, res.Answers[2]) {
+		fmt.Printf("%s: %s\n", e.Tag, e.Kind)
+	}
+	// Output:
+	// book: exact
+	// title: edge-generalized
+	// info: deleted
+	// publisher: deleted
+	// name: deleted
+}
+
+func ExampleParseQuery() {
+	q, err := whirlpool.ParseQuery("//item[./quantity < 3 and ./name contains 'gold']")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.Size(), "query nodes")
+	// Output:
+	// 3 query nodes
+}

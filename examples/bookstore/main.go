@@ -1,0 +1,92 @@
+// Bookstore: the paper's Section 2 walkthrough. A heterogeneous
+// collection of books from different online sellers (Figure 1) is
+// queried with the Figure 2(a) pattern; query relaxation (edge
+// generalization, leaf deletion, subtree promotion) lets every seller's
+// book match, and the XML tf*idf scoring function ranks them by how well
+// they fit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Figure 1's database: three books with heterogeneous structure, plus a
+// couple of distractors.
+const sellers = `
+<book>
+  <title>wodehouse</title>
+  <info>
+    <publisher><name>psmith</name><location>london</location></publisher>
+    <isbn>1234</isbn>
+  </info>
+  <price>48.95</price>
+</book>
+<book>
+  <title>wodehouse</title>
+  <publisher><name>psmith</name></publisher>
+  <info><isbn>1234</isbn><location>london</location></info>
+</book>
+<book>
+  <reviews><title>wodehouse</title></reviews>
+  <info><location>london</location></info>
+  <price>19.99</price>
+</book>
+<book>
+  <title>emma</title>
+  <info><publisher><name>austen house</name></publisher></info>
+</book>`
+
+func main() {
+	db, err := whirlpool.LoadString(sellers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 2(a): /book[./title='wodehouse' and ./info/publisher/name='psmith'].
+	query := whirlpool.MustParseQuery(
+		"/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+
+	fmt.Println("query:", query)
+	fmt.Println()
+
+	// Without relaxation only book 1 matches.
+	exact, err := db.TopK(query, whirlpool.Exact(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact evaluation: %d match(es)\n", len(exact.Answers))
+
+	// With the relaxations of Figure 2(b)-(d) every book becomes a
+	// candidate, ranked by score.
+	opts := whirlpool.Approximate(5)
+	opts.Algorithm = whirlpool.WhirlpoolS
+	res, err := db.TopK(query, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("relaxed evaluation: %d ranked answer(s)\n\n", len(res.Answers))
+	for i, a := range res.Answers {
+		fmt.Printf("%d. score=%.3f book@%s\n", i+1, a.Score, a.Root.ID)
+		for _, e := range whirlpool.Explain(query, a) {
+			if e.NodeID == 0 {
+				continue
+			}
+			value := ""
+			if b := a.Bindings[e.NodeID]; b != nil && b.Value != "" {
+				value = fmt.Sprintf(" = %q", b.Value)
+			}
+			fmt.Printf("     %-9s %-16s %s%s\n", e.Tag, "["+e.Kind.String()+"]", e.Detail, value)
+		}
+	}
+
+	// Individual relaxations can be enabled selectively.
+	egOnly := whirlpool.Options{K: 5, Relax: whirlpool.EdgeGeneralization}
+	egRes, err := db.TopK(query, egOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nedge generalization only: %d answer(s) (containment still required)\n", len(egRes.Answers))
+}

@@ -1,0 +1,65 @@
+// Quickstart: load an XML catalog, run one approximate and one exact
+// top-k query, and print the ranked answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const catalog = `
+<book>
+  <title>wodehouse</title>
+  <info>
+    <publisher><name>psmith</name><location>london</location></publisher>
+    <isbn>1234</isbn>
+  </info>
+  <price>48.95</price>
+</book>
+<book>
+  <title>wodehouse</title>
+  <publisher><name>psmith</name></publisher>
+  <info><isbn>1234</isbn></info>
+</book>
+<book>
+  <reviews><title>wodehouse</title></reviews>
+  <info><location>london</location></info>
+</book>`
+
+func main() {
+	// A database is a parsed, indexed XML document (or forest).
+	db, err := whirlpool.LoadString(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Queries are tree patterns written in an XPath subset.
+	query := whirlpool.MustParseQuery(
+		"/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+
+	// Approximate top-k: relaxations let structurally different books
+	// match, ranked by how closely they fit the original query.
+	res, err := db.TopK(query, whirlpool.Approximate(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("approximate top-3:")
+	for i, a := range res.Answers {
+		fmt.Printf("  %d. score=%.3f  book at %s\n", i+1, a.Score, a.Root.ID)
+	}
+
+	// Exact top-k: only books matching the pattern precisely.
+	res, err = db.TopK(query, whirlpool.Exact(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact matches:")
+	for i, a := range res.Answers {
+		fmt.Printf("  %d. score=%.3f  book at %s\n", i+1, a.Score, a.Root.ID)
+	}
+
+	fmt.Printf("stats: %d server operations, %d partial matches, %d pruned\n",
+		res.Stats.ServerOps, res.Stats.MatchesCreated, res.Stats.Pruned)
+}

@@ -1,0 +1,79 @@
+// XMark: generate an XMark-equivalent auction-site document (the paper's
+// benchmark data substitute), run the paper's queries Q1–Q3 with each of
+// the four evaluation algorithms, and compare their work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+var queries = []struct {
+	name, xpath string
+}{
+	{"Q1 (3 nodes)", "//item[./description/parlist]"},
+	{"Q2 (6 nodes)", "//item[./description/parlist and ./mailbox/mail/text]"},
+	{"Q3 (8 nodes)", "//item[./mailbox/mail/text[./bold and ./keyword] and ./name and ./incategory]"},
+}
+
+var algorithms = []struct {
+	name string
+	alg  whirlpool.Algorithm
+}{
+	{"Whirlpool-S", whirlpool.WhirlpoolS},
+	{"Whirlpool-M", whirlpool.WhirlpoolM},
+	{"LockStep", whirlpool.LockStep},
+	{"LockStep-NoPrun", whirlpool.LockStepNoPrune},
+}
+
+func main() {
+	db, err := whirlpool.GenerateXMark(whirlpool.XMarkOptions{Seed: 7, Items: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated auction site: %d nodes\n\n", db.Size())
+
+	for _, qd := range queries {
+		q := whirlpool.MustParseQuery(qd.xpath)
+		fmt.Printf("%s: %s\n", qd.name, qd.xpath)
+		var topScore float64
+		for _, ad := range algorithms {
+			opts := whirlpool.Approximate(15)
+			opts.Algorithm = ad.alg
+			res, err := db.TopK(q, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(res.Answers) > 0 {
+				topScore = res.Answers[0].Score
+			}
+			fmt.Printf("  %-16s %4d answers  best=%.3f  ops=%-6d matches=%-6d pruned=%d\n",
+				ad.name, len(res.Answers), topScore,
+				res.Stats.ServerOps, res.Stats.MatchesCreated, res.Stats.Pruned)
+		}
+		fmt.Println()
+	}
+
+	// The best items for Q3, with their relaxed bindings.
+	q := whirlpool.MustParseQuery(queries[2].xpath)
+	res, err := db.TopK(q, whirlpool.Approximate(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q3 top-3 in detail:")
+	for i, a := range res.Answers {
+		fmt.Printf("  %d. score=%.3f item %s (%s)\n", i+1, a.Score, a.Root.ID, itemName(a))
+	}
+}
+
+// itemName digs the bound <name> text out of an answer.
+func itemName(a whirlpool.Answer) string {
+	for id, b := range a.Bindings {
+		if b != nil && id > 0 && b.Tag == "name" {
+			return b.Value
+		}
+	}
+	return "unnamed"
+}

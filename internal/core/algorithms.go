@@ -1,0 +1,275 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// runS is Whirlpool-S (Section 6.1.2): a single thread, no server queues —
+// a partial match is processed as soon as the router picks it, and the
+// router queue orders matches by the configured discipline (maximum
+// possible final score by default, the MPro/Upper-style schedule).
+func (r *run) runS() {
+	var q pq
+	for _, m := range r.initialMatches() {
+		if r.checkTopK(m) {
+			q.push(m, r.priority(m, -1))
+		}
+	}
+	batchSize := r.cfg.RouterBatch
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	for {
+		if r.cancelled() {
+			return
+		}
+		m, ok := q.pop()
+		if !ok {
+			return
+		}
+		// currentTopK may have grown since the match was queued.
+		if r.prunable(m) {
+			r.stats.pruned.Add(1)
+			continue
+		}
+		sid := r.nextServer(m)
+		batch := []*match{m}
+		// Bulk adaptivity: matches adjacent in the router queue (and so
+		// closest in priority) share the head's routing decision.
+		var skipped []*match
+		for len(batch) < batchSize {
+			m2, ok := q.pop()
+			if !ok {
+				break
+			}
+			if r.prunable(m2) {
+				r.stats.pruned.Add(1)
+				continue
+			}
+			if m2.isVisited(sid) {
+				skipped = append(skipped, m2)
+				continue
+			}
+			batch = append(batch, m2)
+		}
+		for _, bm := range batch {
+			for _, ext := range r.process(bm, sid) {
+				if r.checkTopK(ext) {
+					q.push(ext, r.priority(ext, -1))
+				}
+			}
+		}
+		for _, sm := range skipped {
+			q.push(sm, r.priority(sm, -1))
+		}
+	}
+}
+
+// runLockStep processes every alive partial match through one server
+// before the next server is considered (static by nature). With prune
+// set, matches are checked against the top-k set as they are produced —
+// the paper's LockStep (≈ OptThres [2]); without it, everything is
+// evaluated and the k best matches selected at the end (LockStep-NoPrun).
+func (r *run) runLockStep(prune bool) {
+	alive := r.initialMatches()
+	if prune {
+		alive = r.filterAlive(alive)
+	}
+	for _, sid := range r.order {
+		// Server queues are priority queues too (max-possible-final by
+		// default): within a phase, promising matches go first so
+		// currentTopK rises early.
+		sort.SliceStable(alive, func(i, j int) bool {
+			return r.priority(alive[i], sid) > r.priority(alive[j], sid)
+		})
+		var next []*match
+		for _, m := range alive {
+			if r.cancelled() {
+				return
+			}
+			if prune && r.prunable(m) {
+				r.stats.pruned.Add(1)
+				continue
+			}
+			for _, ext := range r.process(m, sid) {
+				if prune && !r.checkTopK(ext) {
+					continue
+				}
+				next = append(next, ext)
+			}
+		}
+		alive = next
+	}
+	if !prune {
+		// All survivors are complete; select the k best now.
+		for _, m := range alive {
+			r.topk.offer(m)
+		}
+	}
+}
+
+func (r *run) filterAlive(ms []*match) []*match {
+	out := ms[:0]
+	for _, m := range ms {
+		if r.checkTopK(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// liveCounter tracks the number of matches alive anywhere in
+// Whirlpool-M's pipeline; done closes when it reaches zero.
+type liveCounter struct {
+	n    atomic.Int64
+	done chan struct{}
+	once sync.Once
+}
+
+func newLiveCounter() *liveCounter {
+	return &liveCounter{done: make(chan struct{})}
+}
+
+func (c *liveCounter) add(d int64) {
+	if c.n.Add(d) == 0 {
+		c.markDone()
+	}
+}
+
+func (c *liveCounter) markDone() {
+	c.once.Do(func() { close(c.done) })
+}
+
+// runM is Whirlpool-M: one goroutine per server with its own priority
+// queue, a router goroutine with the router queue, and the main goroutine
+// watching for termination (Section 6.1.2). Matches circulate
+// router → server → top-k check → router until everything is complete or
+// pruned.
+func (r *run) runM() {
+	n := r.query.Size()
+	routerQ := newBlockingPQ()
+	serverQs := make([]*blockingPQ, n)
+	for sid := 1; sid < n; sid++ {
+		serverQs[sid] = newBlockingPQ()
+	}
+	live := newLiveCounter()
+	var wg sync.WaitGroup
+
+	workers := r.cfg.ServerWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	for sid := 1; sid < n; sid++ {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(sid int) {
+				defer wg.Done()
+				r.serveM(sid, serverQs[sid], routerQ, live)
+			}(sid)
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.routeM(routerQ, serverQs, live)
+	}()
+
+	var survivors []*match
+	for _, m := range r.initialMatches() {
+		if r.checkTopK(m) {
+			survivors = append(survivors, m)
+		}
+	}
+	if len(survivors) == 0 {
+		live.markDone()
+	} else {
+		live.add(int64(len(survivors)))
+		for _, m := range survivors {
+			routerQ.push(m, r.priority(m, -1))
+		}
+	}
+
+	<-live.done
+	routerQ.close()
+	for sid := 1; sid < n; sid++ {
+		serverQs[sid].close()
+	}
+	wg.Wait()
+}
+
+// serveM is one Whirlpool-M server worker: pop a match from the server's
+// queue, process it, check extensions against the top-k set, and hand
+// survivors back to the router.
+func (r *run) serveM(sid int, in *blockingPQ, routerQ *blockingPQ, live *liveCounter) {
+	for {
+		m, ok := in.pop()
+		if !ok {
+			return
+		}
+		if r.cancelled() {
+			live.add(-1) // drain so the live counter reaches zero
+			continue
+		}
+		var survivors []*match
+		for _, ext := range r.process(m, sid) {
+			if r.checkTopK(ext) {
+				survivors = append(survivors, ext)
+			}
+		}
+		// Count children in before releasing the parent so the live
+		// counter can never dip to zero mid-flight.
+		live.add(int64(len(survivors)))
+		for _, s := range survivors {
+			routerQ.push(s, r.priority(s, -1))
+		}
+		live.add(-1)
+	}
+}
+
+// routeM is the Whirlpool-M router goroutine: re-check each match against
+// currentTopK (it may have grown while the match sat in the queue), pick
+// its next server, and enqueue it there. With RouterBatch > 1, routing
+// decisions are shared by groups of queue-adjacent matches.
+func (r *run) routeM(routerQ *blockingPQ, serverQs []*blockingPQ, live *liveCounter) {
+	batchSize := r.cfg.RouterBatch
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	for {
+		m, ok := routerQ.pop()
+		if !ok {
+			return
+		}
+		if r.cancelled() {
+			live.add(-1) // drain so the live counter reaches zero
+			continue
+		}
+		if r.prunable(m) {
+			r.stats.pruned.Add(1)
+			live.add(-1)
+			continue
+		}
+		sid := r.nextServer(m)
+		serverQs[sid].push(m, r.priority(m, sid))
+		// Bulk adaptivity: drain up to batchSize-1 more matches that can
+		// reuse the decision without blocking for new arrivals.
+		for extra := 1; extra < batchSize; extra++ {
+			m2, ok := routerQ.tryPop()
+			if !ok {
+				break
+			}
+			if r.prunable(m2) {
+				r.stats.pruned.Add(1)
+				live.add(-1)
+				continue
+			}
+			if m2.isVisited(sid) {
+				serverQs[r.nextServer(m2)].push(m2, r.priority(m2, sid))
+				continue
+			}
+			serverQs[sid].push(m2, r.priority(m2, sid))
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package core implements the Whirlpool engine (Section 5): per-query-node
+// servers, the adaptive router, the shared top-k set, and the four
+// evaluation algorithms compared in the paper — Whirlpool-S (single
+// threaded), Whirlpool-M (multi-threaded, one goroutine per server),
+// LockStep (all partial matches pass one server before the next) and
+// LockStep-NoPrun (LockStep without score pruning).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/relax"
+	"repro/internal/score"
+	"repro/internal/xmltree"
+)
+
+// Algorithm selects the top-k evaluation strategy (Section 6.1.2).
+type Algorithm int
+
+const (
+	// WhirlpoolS is the single-threaded adaptive strategy: one router
+	// queue, partial matches processed in priority order, each routed
+	// individually to its next server.
+	WhirlpoolS Algorithm = iota
+	// WhirlpoolM is the multi-threaded strategy: one goroutine per
+	// server plus a router goroutine, with per-server priority queues.
+	WhirlpoolM
+	// LockStep processes every partial match through one server before
+	// the next server is considered, pruning against the top-k set.
+	LockStep
+	// LockStepNoPrune is LockStep with pruning disabled: every partial
+	// match is fully evaluated and the k best are selected at the end.
+	// It bounds the maximum possible number of partial matches (Table 2).
+	LockStepNoPrune
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case WhirlpoolS:
+		return "Whirlpool-S"
+	case WhirlpoolM:
+		return "Whirlpool-M"
+	case LockStep:
+		return "LockStep"
+	case LockStepNoPrune:
+		return "LockStep-NoPrun"
+	default:
+		return "algorithm(?)"
+	}
+}
+
+// Routing selects how the router picks the next server for a partial
+// match (Section 6.1.4).
+type Routing int
+
+const (
+	// RoutingStatic sends every match through the same server order
+	// (Config.Order, defaulting to query-node order).
+	RoutingStatic Routing = iota
+	// RoutingMaxScore picks the unvisited server expected to increase
+	// the match's score the most.
+	RoutingMaxScore
+	// RoutingMinScore picks the server expected to increase the score
+	// the least.
+	RoutingMinScore
+	// RoutingMinAlive picks the server expected to yield the fewest
+	// alive extensions after pruning — the paper's
+	// min_alive_partial_matches strategy, its overall winner.
+	RoutingMinAlive
+)
+
+// String returns the paper's name for the routing strategy.
+func (r Routing) String() string {
+	switch r {
+	case RoutingStatic:
+		return "static"
+	case RoutingMaxScore:
+		return "max_score"
+	case RoutingMinScore:
+		return "min_score"
+	case RoutingMinAlive:
+		return "min_alive_partial_matches"
+	default:
+		return "routing(?)"
+	}
+}
+
+// Queue selects the priority discipline for server and router queues
+// (Section 6.1.3).
+type Queue int
+
+const (
+	// QueueMaxFinal orders by maximum possible final score — the
+	// paper's best-performing discipline and the default.
+	QueueMaxFinal Queue = iota
+	// QueueFIFO processes matches in arrival order.
+	QueueFIFO
+	// QueueCurrentScore orders by current score.
+	QueueCurrentScore
+	// QueueMaxNext orders by current score plus the maximum
+	// contribution of the queue's server.
+	QueueMaxNext
+)
+
+// String returns the paper's name for the queue discipline.
+func (q Queue) String() string {
+	switch q {
+	case QueueMaxFinal:
+		return "max-possible-final"
+	case QueueFIFO:
+		return "fifo"
+	case QueueCurrentScore:
+		return "current-score"
+	case QueueMaxNext:
+		return "max-possible-next"
+	default:
+		return "queue(?)"
+	}
+}
+
+// Config parameterizes one evaluation.
+type Config struct {
+	// K is the number of answers to return. Required, ≥ 1.
+	K int
+	// Relax selects the enabled relaxations; relax.None computes exact
+	// matches only, relax.All the paper's approximate-match setting.
+	Relax relax.Relaxation
+	// Algorithm selects the evaluation strategy.
+	Algorithm Algorithm
+	// Routing selects the adaptive routing strategy (ignored by the
+	// LockStep algorithms, which are static by nature).
+	Routing Routing
+	// Order is the static server order (query node IDs, each non-root
+	// node exactly once). Used by RoutingStatic and as the LockStep
+	// phase order; defaults to ascending node IDs.
+	Order []int
+	// Queue is the priority discipline for the router and server queues.
+	Queue Queue
+	// Scorer supplies contribution scores; required.
+	Scorer score.Scorer
+	// OpCost, when positive, adds a synthetic CPU cost to every server
+	// operation — the Figure 8 knob for studying when adaptivity pays.
+	OpCost time.Duration
+	// Threshold seeds the top-k set's pruning threshold (currentTopK),
+	// as in the Figure 3 analysis. Zero means no seed.
+	Threshold float64
+	// ServerWorkers is the number of goroutines per server in
+	// Whirlpool-M (default 1). Values above 1 implement the paper's
+	// "several threads for the same server" future-work extension,
+	// lifting the parallelism cap of (#servers + 2) threads.
+	ServerWorkers int
+	// Estimator, when non-nil, supplies the routing statistics (fanout
+	// and selectivity per server) from a summary instead of exact index
+	// scans — the paper's pointer to XML selectivity estimation
+	// (Section 6.1.4). Estimates only steer routing; answers are
+	// unaffected.
+	Estimator Estimator
+	// RouterBatch, when above 1, makes the adaptive router take routing
+	// decisions for groups of up to RouterBatch queue-adjacent partial
+	// matches at once (the paper's "adaptivity in bulk" future-work
+	// idea): the decision is computed for the batch head — the matches
+	// closest in priority — and applied to the whole batch, amortizing
+	// routing cost at a small loss of per-match precision.
+	RouterBatch int
+}
+
+// Stats instruments one evaluation with the paper's measures
+// (Section 6.2.3).
+type Stats struct {
+	// ServerOps counts partial matches processed by servers (including
+	// the root server's batch as one op per generated match).
+	ServerOps int64
+	// JoinComparisons counts individual join-predicate comparisons —
+	// the Figure 3 metric.
+	JoinComparisons int64
+	// MatchesCreated counts partial matches created, the Table 2
+	// scalability metric.
+	MatchesCreated int64
+	// Pruned counts partial matches discarded against the top-k set.
+	Pruned int64
+	// Duration is the wall-clock query execution time.
+	Duration time.Duration
+}
+
+// Answer is one of the top-k results.
+type Answer struct {
+	// Root is the matched instantiation of the query's returned node.
+	Root *xmltree.Node
+	// Bindings maps query node ID to the bound document node; nil means
+	// the node was relaxed away (leaf deletion).
+	Bindings []*xmltree.Node
+	// Score is the answer's final score.
+	Score float64
+}
+
+// Result is the outcome of one evaluation.
+type Result struct {
+	// Answers holds at most K answers with distinct roots, best first
+	// (ties broken by document order of the root).
+	Answers []Answer
+	// Stats holds the run's instrumentation.
+	Stats Stats
+}
+
+func (c *Config) validate(querySize int) error {
+	if c.K < 1 {
+		return fmt.Errorf("core: K must be ≥ 1, got %d", c.K)
+	}
+	if c.Scorer == nil {
+		return fmt.Errorf("core: Scorer is required")
+	}
+	if querySize > 64 {
+		return fmt.Errorf("core: queries are limited to 64 nodes, got %d", querySize)
+	}
+	if c.Order != nil {
+		if len(c.Order) != querySize-1 {
+			return fmt.Errorf("core: Order must list the %d non-root nodes, got %d", querySize-1, len(c.Order))
+		}
+		seen := make(map[int]bool)
+		for _, id := range c.Order {
+			if id < 1 || id >= querySize || seen[id] {
+				return fmt.Errorf("core: Order must be a permutation of 1..%d", querySize-1)
+			}
+			seen[id] = true
+		}
+	}
+	return nil
+}

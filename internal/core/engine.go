@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/score"
+)
+
+// Estimator supplies approximate routing statistics (see
+// internal/estimate for the Markov-table implementation).
+type Estimator interface {
+	// Fanout estimates the expected number of tag nodes on the axis of
+	// one anchorTag node (over all anchors, satisfying or not).
+	Fanout(anchorTag string, axis dewey.Axis, tag string) float64
+	// Selectivity estimates the fraction of anchorTag nodes with at
+	// least one tag node on the axis.
+	Selectivity(anchorTag string, axis dewey.Axis, tag string) float64
+}
+
+// Engine evaluates top-k queries for one (document, query, config)
+// combination. It precomputes the server plans (Algorithm 1), the
+// per-server maximum contributions backing the maximum-possible-final
+// bound, and the fanout statistics the size-based router uses. An Engine
+// is immutable after New and safe for repeated and concurrent Run calls.
+type Engine struct {
+	cfg   Config
+	ix    index.Source
+	query *pattern.Query
+	plans []*relax.ServerPlan
+
+	maxContrib  []float64 // per query node
+	minContrib  []float64
+	expContrib  []float64
+	fanout      []float64 // expected extensions per satisfying root
+	satisfyProb []float64 // fraction of roots with ≥1 candidate
+	sumMax      float64   // Σ maxContrib over non-root nodes
+	allVisited  uint64
+	order       []int             // static order (defaulted)
+	vts         []index.ValueTest // per-node content predicates
+}
+
+// New validates cfg and builds an engine for query q over the indexed
+// document ix.
+func New(ix index.Source, q *pattern.Query, cfg Config) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(q.Size()); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		ix:          ix,
+		query:       q,
+		plans:       relax.BuildPlans(q, cfg.Relax),
+		maxContrib:  make([]float64, q.Size()),
+		minContrib:  make([]float64, q.Size()),
+		expContrib:  make([]float64, q.Size()),
+		fanout:      make([]float64, q.Size()),
+		satisfyProb: make([]float64, q.Size()),
+		vts:         make([]index.ValueTest, q.Size()),
+	}
+	for id, n := range q.Nodes {
+		e.vts[id] = index.Test(n.ValueOp, n.Value)
+	}
+	for id := 0; id < q.Size(); id++ {
+		e.maxContrib[id] = cfg.Scorer.MaxContribution(id)
+		e.minContrib[id] = cfg.Scorer.MinContribution(id)
+		e.expContrib[id] = cfg.Scorer.ExpectedContribution(id)
+		if e.maxContrib[id] < 0 {
+			return nil, fmt.Errorf("core: negative max contribution for node %d", id)
+		}
+		e.allVisited |= 1 << uint(id)
+		if id > 0 {
+			e.sumMax += e.maxContrib[id]
+			axis := e.plans[id].ProbeAxis()
+			if cfg.Estimator != nil {
+				p := cfg.Estimator.Selectivity(q.Root().Tag, axis, q.Nodes[id].Tag)
+				f := cfg.Estimator.Fanout(q.Root().Tag, axis, q.Nodes[id].Tag)
+				e.satisfyProb[id] = p
+				if p > 0 {
+					e.fanout[id] = f / p
+				}
+			} else {
+				st := ix.Predicate(q.Root().Tag, axis, q.Nodes[id].Tag, e.vts[id])
+				e.fanout[id] = st.MeanFanout()
+				e.satisfyProb[id] = st.Selectivity()
+			}
+		}
+	}
+	if cfg.Order != nil {
+		e.order = cfg.Order
+	} else {
+		e.order = make([]int, 0, q.Size()-1)
+		for id := 1; id < q.Size(); id++ {
+			e.order = append(e.order, id)
+		}
+	}
+	return e, nil
+}
+
+// Query returns the engine's tree pattern.
+func (e *Engine) Query() *pattern.Query { return e.query }
+
+// Run executes the configured algorithm and returns the top-k answers
+// with instrumentation.
+func (e *Engine) Run() (*Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: when ctx is cancelled the
+// evaluation winds down promptly and ctx's error is returned (any
+// partial result is discarded).
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := &run{
+		Engine: e,
+		topk:   newTopkSet(e.cfg.K, e.cfg.Threshold, e.cfg.Threshold > 0),
+		ctx:    ctx,
+	}
+	start := time.Now()
+	switch e.cfg.Algorithm {
+	case WhirlpoolS:
+		r.runS()
+	case WhirlpoolM:
+		r.runM()
+	case LockStep:
+		r.runLockStep(true)
+	case LockStepNoPrune:
+		r.runLockStep(false)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", e.cfg.Algorithm)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{Answers: r.topk.answers()}
+	res.Stats = r.stats.snapshot()
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// guaranteedPartial reports whether a partial match's current score is a
+// guaranteed lower bound for its root (true under leaf deletion: the
+// match completed by deleting every remaining node is a valid answer).
+func (e *Engine) guaranteedPartial() bool { return e.cfg.Relax.Has(relax.LeafDeletion) }
+
+// priority computes a match's queue priority under the configured
+// discipline. serverID is the queue's server, or -1 for the router queue.
+func (e *Engine) priority(m *match, serverID int) float64 {
+	switch e.cfg.Queue {
+	case QueueFIFO:
+		return -float64(m.seq)
+	case QueueCurrentScore:
+		return m.score
+	case QueueMaxNext:
+		if serverID >= 0 {
+			return m.score + e.maxContrib[serverID]
+		}
+		return m.maxFinal
+	default: // QueueMaxFinal
+		return m.maxFinal
+	}
+}
+
+// spin burns CPU for d, simulating per-operation join cost (Figure 8).
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// initialMatches evaluates the root server: every document node matching
+// the root tag/value and the root's structural predicate spawns a partial
+// match.
+func (r *run) initialMatches() []*match {
+	e := r.Engine
+	rootNode := e.query.Root()
+	plan := e.plans[0]
+	cands := e.ix.NodesMatching(rootNode.Tag, e.vts[0])
+	var out []*match
+	virtual := dewey.ID{}
+	for _, c := range cands {
+		r.stats.joinComparisons.Add(1)
+		variant := score.Exact
+		if !plan.RootPath.HoldsExact(virtual, c.ID) {
+			// /tag with a non-root binding: admissible only under edge
+			// generalization of the root edge.
+			if !e.cfg.Relax.Has(relax.EdgeGeneralization) {
+				continue
+			}
+			variant = score.Relaxed
+		}
+		contrib := e.cfg.Scorer.Contribution(0, variant, c)
+		m := &match{
+			bindings: makeBindings(e.query.Size(), c),
+			visited:  1,
+			score:    contrib,
+			maxFinal: contrib + e.sumMax,
+			seq:      r.nextSeq(),
+		}
+		r.stats.serverOps.Add(1)
+		r.stats.matchesCreated.Add(1)
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func mkMatch(rootOrd int, score float64, seq int64) *match {
+	n := &xmltree.Node{Tag: "r", Ord: rootOrd}
+	return &match{
+		bindings: []*xmltree.Node{n},
+		visited:  1,
+		score:    score,
+		maxFinal: score,
+		seq:      seq,
+	}
+}
+
+func TestTopkSetBasics(t *testing.T) {
+	tk := newTopkSet(2, 0, false)
+	if _, ok := tk.threshold(); ok {
+		t.Fatal("empty set should have no threshold")
+	}
+	tk.offer(mkMatch(1, 0.5, 1))
+	if _, ok := tk.threshold(); ok {
+		t.Fatal("one of two entries should not yield a threshold")
+	}
+	tk.offer(mkMatch(2, 0.8, 2))
+	if v, ok := tk.threshold(); !ok || v != 0.5 {
+		t.Fatalf("threshold = %v, %v", v, ok)
+	}
+	// Better score for an existing root raises it.
+	tk.offer(mkMatch(1, 0.9, 3))
+	if v, _ := tk.threshold(); v != 0.8 {
+		t.Fatalf("threshold after update = %v", v)
+	}
+	// A new root displacing the weakest.
+	tk.offer(mkMatch(3, 1.0, 4))
+	if v, _ := tk.threshold(); v != 0.9 {
+		t.Fatalf("threshold after displacement = %v", v)
+	}
+	ans := tk.answers()
+	if len(ans) != 2 || ans[0].Score != 1.0 || ans[1].Score != 0.9 {
+		t.Fatalf("answers = %v", ans)
+	}
+}
+
+func TestTopkSetOnePerRoot(t *testing.T) {
+	tk := newTopkSet(3, 0, false)
+	tk.offer(mkMatch(7, 0.5, 1))
+	tk.offer(mkMatch(7, 0.7, 2))
+	tk.offer(mkMatch(7, 0.6, 3)) // worse than best, ignored
+	ans := tk.answers()
+	if len(ans) != 1 || ans[0].Score != 0.7 {
+		t.Fatalf("answers = %v", ans)
+	}
+}
+
+func TestTopkSetFloor(t *testing.T) {
+	tk := newTopkSet(2, 0.9, true)
+	if v, ok := tk.threshold(); !ok || v != 0.9 {
+		t.Fatalf("seeded threshold = %v, %v", v, ok)
+	}
+	// Entries below the floor do not lower it.
+	tk.offer(mkMatch(1, 0.2, 1))
+	tk.offer(mkMatch(2, 0.3, 2))
+	if v, _ := tk.threshold(); v != 0.9 {
+		t.Fatalf("floored threshold = %v", v)
+	}
+	// A full set above the floor overrides it.
+	tk.offer(mkMatch(3, 1.2, 3))
+	tk.offer(mkMatch(4, 1.1, 4))
+	if v, _ := tk.threshold(); v != 1.1 {
+		t.Fatalf("threshold = %v", v)
+	}
+}
+
+func TestTopkSetEvictedRootCanReturn(t *testing.T) {
+	tk := newTopkSet(1, 0, false)
+	tk.offer(mkMatch(1, 0.5, 1))
+	tk.offer(mkMatch(2, 0.8, 2)) // evicts root 1
+	tk.offer(mkMatch(1, 0.9, 3)) // root 1 returns with a better score
+	ans := tk.answers()
+	if len(ans) != 1 || ans[0].Root.Ord != 1 || ans[0].Score != 0.9 {
+		t.Fatalf("answers = %v", ans)
+	}
+}
+
+func TestTopkSetDeterministicTieBreak(t *testing.T) {
+	tk := newTopkSet(1, 0, false)
+	tk.offer(mkMatch(5, 0.5, 1))
+	tk.offer(mkMatch(2, 0.5, 2)) // same score, smaller root ord wins
+	ans := tk.answers()
+	if ans[0].Root.Ord != 2 {
+		t.Fatalf("tie break picked root %d", ans[0].Root.Ord)
+	}
+}
+
+func TestPQOrdering(t *testing.T) {
+	var q pq
+	q.push(mkMatch(1, 0.1, 3), 0.1)
+	q.push(mkMatch(2, 0.9, 1), 0.9)
+	q.push(mkMatch(3, 0.5, 2), 0.5)
+	var got []int
+	for {
+		m, ok := q.pop()
+		if !ok {
+			break
+		}
+		got = append(got, m.rootOrd())
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("pop order = %v", got)
+	}
+	if q.len() != 0 {
+		t.Fatal("len after drain")
+	}
+}
+
+func TestPQTieBreakBySeq(t *testing.T) {
+	var q pq
+	q.push(mkMatch(1, 0.5, 9), 0.5)
+	q.push(mkMatch(2, 0.5, 1), 0.5)
+	m, _ := q.pop()
+	if m.seq != 1 {
+		t.Fatalf("tie should pop earliest seq, got %d", m.seq)
+	}
+}
+
+func TestBlockingPQCloseUnblocks(t *testing.T) {
+	q := newBlockingPQ()
+	var wg sync.WaitGroup
+	results := make([]bool, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, ok := q.pop()
+			results[i] = ok
+		}(i)
+	}
+	q.push(mkMatch(1, 0.5, 1), 0.5)
+	q.close()
+	wg.Wait()
+	popped := 0
+	for _, ok := range results {
+		if ok {
+			popped++
+		}
+	}
+	if popped != 1 {
+		t.Fatalf("exactly one waiter should receive the item, got %d", popped)
+	}
+	if _, ok := q.tryPop(); ok {
+		t.Fatal("tryPop after drain should fail")
+	}
+}
+
+func TestLiveCounterSignalsZero(t *testing.T) {
+	c := newLiveCounter()
+	c.add(3)
+	c.add(-1)
+	c.add(-1)
+	select {
+	case <-c.done:
+		t.Fatal("done closed early")
+	default:
+	}
+	c.add(-1)
+	select {
+	case <-c.done:
+	default:
+		t.Fatal("done not closed at zero")
+	}
+	// markDone is idempotent.
+	c.markDone()
+}
+
+func TestMatchExtend(t *testing.T) {
+	m := mkMatch(1, 0.4, 1)
+	m.bindings = append(m.bindings, nil, nil)
+	m.maxFinal = 0.4 + 0.3 + 0.2
+	n := &xmltree.Node{Tag: "x", Ord: 9}
+	ext := m.extend(1, n, 0.25, 0.3, 2)
+	if ext.score != 0.65 {
+		t.Fatalf("score = %v", ext.score)
+	}
+	if diff := ext.maxFinal - (0.4 + 0.3 + 0.2 - 0.3 + 0.25); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("maxFinal = %v", ext.maxFinal)
+	}
+	if !ext.isVisited(1) || ext.isMissing(1) {
+		t.Fatal("visited bits wrong")
+	}
+	if m.isVisited(1) {
+		t.Fatal("extend mutated parent")
+	}
+	// Null extension.
+	null := m.extend(2, nil, 0, 0.2, 3)
+	if !null.isMissing(2) || null.score != 0.4 {
+		t.Fatalf("null extension = %v", null)
+	}
+	if null.maxFinal != 0.4+0.3 {
+		t.Fatalf("null maxFinal = %v", null.maxFinal)
+	}
+	// complete() over a 3-node query.
+	if ext.complete(0b111) {
+		t.Fatal("ext not complete")
+	}
+	both := ext.extend(2, nil, 0, 0.2, 4)
+	if !both.complete(0b111) {
+		t.Fatal("both should be complete")
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	m := mkMatch(1, 0.4, 1)
+	m.bindings = append(m.bindings, nil, nil)
+	m.visited |= 1 << 2
+	m.missing |= 1 << 2
+	s := m.String()
+	for _, want := range []string{"0:", "1:?", "2:⊥", "score=0.4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// match is a partial or complete match: one tuple of bindings flowing
+// through the servers. Query node i is in one of three states:
+//
+//   - unvisited: visited bit clear, bindings[i] == nil
+//   - bound:     visited bit set,   bindings[i] != nil
+//   - missing:   visited and missing bits set, bindings[i] == nil
+//     (the node was relaxed away by leaf deletion)
+//
+// score grows monotonically as servers add non-negative contributions;
+// maxFinal = score + Σ maximum contributions of unvisited servers is the
+// admissible upper bound pruning compares against currentTopK.
+type match struct {
+	bindings []*xmltree.Node
+	visited  uint64
+	missing  uint64
+	score    float64
+	maxFinal float64
+	seq      int64
+}
+
+func (m *match) isVisited(id int) bool { return m.visited&(1<<uint(id)) != 0 }
+func (m *match) isMissing(id int) bool { return m.missing&(1<<uint(id)) != 0 }
+
+// complete reports whether every server has processed the match.
+func (m *match) complete(all uint64) bool { return m.visited == all }
+
+// rootOrd returns the document ordinal of the root binding, the key the
+// top-k set deduplicates on.
+func (m *match) rootOrd() int { return m.bindings[0].Ord }
+
+// extend clones m with query node id bound to n (nil = missing),
+// contributing c to the score. maxContrib is the server's precomputed
+// maximum contribution that the maxFinal bound releases.
+func (m *match) extend(id int, n *xmltree.Node, c, maxContrib float64, seq int64) *match {
+	b := make([]*xmltree.Node, len(m.bindings))
+	copy(b, m.bindings)
+	b[id] = n
+	ext := &match{
+		bindings: b,
+		visited:  m.visited | 1<<uint(id),
+		missing:  m.missing,
+		score:    m.score + c,
+		maxFinal: m.maxFinal - maxContrib + c,
+		seq:      seq,
+	}
+	if n == nil {
+		ext.missing |= 1 << uint(id)
+	}
+	return ext
+}
+
+// String renders the match for debugging: bound tags, score and bound.
+func (m *match) String() string {
+	var b strings.Builder
+	b.WriteString("match{")
+	for i, n := range m.bindings {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		switch {
+		case n != nil:
+			fmt.Fprintf(&b, "%d:%s", i, n.ID)
+		case m.isMissing(i):
+			fmt.Fprintf(&b, "%d:⊥", i)
+		default:
+			fmt.Fprintf(&b, "%d:?", i)
+		}
+	}
+	fmt.Fprintf(&b, " score=%.4f max=%.4f}", m.score, m.maxFinal)
+	return b.String()
+}

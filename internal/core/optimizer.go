@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+)
+
+// CostBasedOrder chooses a static server order a priori from index
+// statistics — the paper's suggestion that "for homogeneous data sets
+// [static routing] might actually be the strategy of choice, where the
+// sequence can be determined a priori in a cost-based manner" (Section
+// 6.1.4). Servers are ordered by increasing expected number of partial
+// matches they leave alive per input match (selectivity × fanout, plus
+// the null extension for non-satisfying roots), the size-based analog of
+// selectivity-ordered join plans.
+func CostBasedOrder(ix index.Source, q *pattern.Query, r relax.Relaxation) []int {
+	plans := relax.BuildPlans(q, r)
+	rootTag := q.Root().Tag
+	type cost struct {
+		id    int
+		alive float64
+	}
+	costs := make([]cost, 0, q.Size()-1)
+	for id := 1; id < q.Size(); id++ {
+		st := ix.Predicate(rootTag, plans[id].ProbeAxis(), q.Nodes[id].Tag, index.Test(q.Nodes[id].ValueOp, q.Nodes[id].Value))
+		p := st.Selectivity()
+		alive := p * st.MeanFanout()
+		if r.Has(relax.LeafDeletion) {
+			alive += 1 - p // the outer-join's null extension
+		}
+		costs = append(costs, cost{id: id, alive: alive})
+	}
+	sort.SliceStable(costs, func(i, j int) bool {
+		if costs[i].alive != costs[j].alive {
+			return costs[i].alive < costs[j].alive
+		}
+		return costs[i].id < costs[j].id
+	})
+	order := make([]int, len(costs))
+	for i, c := range costs {
+		order[i] = c.id
+	}
+	return order
+}

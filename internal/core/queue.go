@@ -1,0 +1,108 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// prioritized pairs a match with its queue priority. Higher priority pops
+// first; ties pop in seq (creation) order, keeping single-threaded runs
+// deterministic.
+type prioritized struct {
+	m        *match
+	priority float64
+}
+
+type matchHeap []prioritized
+
+func (h matchHeap) Len() int { return len(h) }
+func (h matchHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].m.seq < h[j].m.seq
+}
+func (h matchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any)   { *h = append(*h, x.(prioritized)) }
+func (h *matchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = prioritized{}
+	*h = old[:n-1]
+	return it
+}
+
+// pq is a plain (single-goroutine) priority queue.
+type pq struct{ h matchHeap }
+
+func (q *pq) push(m *match, priority float64) {
+	heap.Push(&q.h, prioritized{m: m, priority: priority})
+}
+
+func (q *pq) pop() (*match, bool) {
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	it := heap.Pop(&q.h).(prioritized)
+	return it.m, true
+}
+
+func (q *pq) len() int { return len(q.h) }
+
+// blockingPQ is the concurrent priority queue behind Whirlpool-M's server
+// and router queues: pop blocks until an item arrives or the queue is
+// closed.
+type blockingPQ struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	h      matchHeap
+	closed bool
+}
+
+func newBlockingPQ() *blockingPQ {
+	q := &blockingPQ{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *blockingPQ) push(m *match, priority float64) {
+	q.mu.Lock()
+	heap.Push(&q.h, prioritized{m: m, priority: priority})
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available (returning it with ok = true) or
+// the queue is closed and drained of interest (ok = false).
+func (q *blockingPQ) pop() (*match, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.h) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	it := heap.Pop(&q.h).(prioritized)
+	return it.m, true
+}
+
+// tryPop returns an item if one is immediately available, without
+// blocking.
+func (q *blockingPQ) tryPop() (*match, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	it := heap.Pop(&q.h).(prioritized)
+	return it.m, true
+}
+
+func (q *blockingPQ) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/naive"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/score"
+	"repro/internal/xmltree"
+)
+
+// randomDoc builds a small random forest over a fixed tag alphabet.
+func randomDoc(r *rand.Rand) *xmltree.Document {
+	tags := []string{"a", "b", "c", "d"}
+	values := []string{"", "", "x", "y"}
+	b := xmltree.NewBuilder()
+	roots := 1 + r.Intn(3)
+	var grow func(depth int)
+	grow = func(depth int) {
+		if depth > 3 {
+			return
+		}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			b.Open(tags[r.Intn(len(tags))])
+			if v := values[r.Intn(len(values))]; v != "" {
+				b.Text(v)
+			}
+			grow(depth + 1)
+			b.Close()
+		}
+	}
+	for i := 0; i < roots; i++ {
+		b.Root("a")
+		grow(1)
+	}
+	return b.Doc()
+}
+
+// randomQuery builds a small random tree pattern over the same alphabet.
+func randomQuery(r *rand.Rand) *pattern.Query {
+	tags := []string{"a", "b", "c", "d"}
+	axes := []dewey.Axis{dewey.Child, dewey.Descendant}
+	q := pattern.New("a", axes[r.Intn(2)])
+	nodes := 1 + r.Intn(4)
+	for i := 0; i < nodes; i++ {
+		parent := r.Intn(q.Size())
+		id := q.Add(parent, tags[r.Intn(len(tags))], axes[r.Intn(2)])
+		if r.Intn(4) == 0 {
+			q.Nodes[id].Value = []string{"x", "y"}[r.Intn(2)]
+		}
+	}
+	return q
+}
+
+// TestRandomizedCrossValidation compares every algorithm against the
+// independent naive evaluator on random documents and queries, in both
+// exact and fully relaxed modes. Scores (not root identities) are
+// compared, so k-th-place ties do not flake.
+func TestRandomizedCrossValidation(t *testing.T) {
+	algorithms := []Algorithm{WhirlpoolS, WhirlpoolM, LockStep, LockStepNoPrune}
+	modes := []relax.Relaxation{relax.None, relax.All}
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		doc := randomDoc(r)
+		q := randomQuery(r)
+		ix := index.Build(doc)
+		s := score.NewTFIDF(ix, q, score.Sparse)
+		k := 1 + r.Intn(4)
+		for _, mode := range modes {
+			want := naive.TopK(ix, q, mode, s, k)
+			wantScores := make([]float64, len(want))
+			for i, a := range want {
+				wantScores[i] = a.Score
+			}
+			for _, alg := range algorithms {
+				eng, err := New(ix, q, Config{
+					K: k, Relax: mode, Algorithm: alg,
+					Routing: RoutingMinAlive, Scorer: s,
+				})
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				res, err := eng.Run()
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if len(res.Answers) != len(wantScores) {
+					t.Fatalf("trial %d %v/%v k=%d q=%s:\n got %d answers %v\n want %d %v\ndoc: %s",
+						trial, alg, mode, k, q, len(res.Answers), scoresOf(res), len(wantScores), wantScores, dumpDoc(doc))
+				}
+				for i := range wantScores {
+					if math.Abs(res.Answers[i].Score-wantScores[i]) > 1e-9 {
+						t.Fatalf("trial %d %v/%v k=%d q=%s: score[%d]=%v want %v\n got %v want %v\ndoc: %s",
+							trial, alg, mode, k, q, i, res.Answers[i].Score, wantScores[i], scoresOf(res), wantScores, dumpDoc(doc))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRandomizedRoutingInvariance verifies that every routing strategy
+// and queue discipline produces the same answer scores on random inputs.
+func TestRandomizedRoutingInvariance(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		doc := randomDoc(r)
+		q := randomQuery(r)
+		ix := index.Build(doc)
+		s := score.NewTFIDF(ix, q, score.Sparse)
+		var base []float64
+		for _, routing := range []Routing{RoutingStatic, RoutingMaxScore, RoutingMinScore, RoutingMinAlive} {
+			for _, queue := range []Queue{QueueMaxFinal, QueueFIFO, QueueCurrentScore, QueueMaxNext} {
+				eng, err := New(ix, q, Config{
+					K: 3, Relax: relax.All, Algorithm: WhirlpoolS,
+					Routing: routing, Queue: queue, Scorer: s,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := scoresOf(res)
+				if base == nil {
+					base = got
+					continue
+				}
+				if !almostEqual(got, base) {
+					t.Fatalf("trial %d %v/%v: %v vs %v (q=%s)", trial, routing, queue, got, base, q)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomizedPruningNeverChangesAnswers checks the admissibility of
+// the maxFinal bound: LockStep with and without pruning agree on scores.
+func TestRandomizedPruningNeverChangesAnswers(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		r := rand.New(rand.NewSource(int64(2000 + trial)))
+		doc := randomDoc(r)
+		q := randomQuery(r)
+		ix := index.Build(doc)
+		s := score.NewTFIDF(ix, q, score.Sparse)
+		k := 1 + r.Intn(3)
+		var results [2]*Result
+		for i, alg := range []Algorithm{LockStep, LockStepNoPrune} {
+			eng, err := New(ix, q, Config{K: k, Relax: relax.All, Algorithm: alg, Scorer: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[i], err = eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !almostEqual(scoresOf(results[0]), scoresOf(results[1])) {
+			t.Fatalf("trial %d: pruning changed answers: %v vs %v (q=%s)",
+				trial, scoresOf(results[0]), scoresOf(results[1]), q)
+		}
+		if results[0].Stats.MatchesCreated > results[1].Stats.MatchesCreated {
+			t.Fatalf("trial %d: pruning increased matches", trial)
+		}
+	}
+}
+
+func dumpDoc(doc *xmltree.Document) string {
+	s := ""
+	for _, n := range doc.Nodes {
+		s += fmt.Sprintf("%s ", n)
+	}
+	return s
+}
+
+// relaxAllForTest aliases the full relaxation set for property tests.
+const relaxAllForTest = relax.All
+
+// buildRandomEngineEnv indexes a random document and builds a sparse
+// tf*idf scorer for q.
+func buildRandomEngineEnv(doc *xmltree.Document, q *pattern.Query) (*index.Index, *score.TFIDF, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ix := index.Build(doc)
+	return ix, score.NewTFIDF(ix, q, score.Sparse), nil
+}

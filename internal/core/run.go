@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/xmltree"
+)
+
+// run is the mutable state of a single evaluation.
+type run struct {
+	*Engine
+	topk  *topkSet
+	stats runStats
+	seq   atomic.Int64
+	ctx   context.Context
+}
+
+// cancelled reports whether the run's context has been cancelled.
+func (r *run) cancelled() bool {
+	select {
+	case <-r.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *run) nextSeq() int64 { return r.seq.Add(1) }
+
+// runStats collects instrumentation with atomics so Whirlpool-M's
+// goroutines can share it.
+type runStats struct {
+	serverOps       atomic.Int64
+	joinComparisons atomic.Int64
+	matchesCreated  atomic.Int64
+	pruned          atomic.Int64
+}
+
+func (s *runStats) snapshot() Stats {
+	return Stats{
+		ServerOps:       s.serverOps.Load(),
+		JoinComparisons: s.joinComparisons.Load(),
+		MatchesCreated:  s.matchesCreated.Load(),
+		Pruned:          s.pruned.Load(),
+	}
+}
+
+func makeBindings(n int, root *xmltree.Node) []*xmltree.Node {
+	b := make([]*xmltree.Node, n)
+	b[0] = root
+	return b
+}
+
+// checkTopK implements Section 5.2.2's checkTopK: offer the match's
+// guaranteed score to the top-k set, then decide whether the match stays
+// alive. Complete matches never stay alive (they are done); matches whose
+// maximum possible final score cannot beat currentTopK are pruned.
+func (r *run) checkTopK(m *match) (alive bool) {
+	complete := m.complete(r.allVisited)
+	if complete || r.guaranteedPartial() {
+		r.topk.offer(m)
+	}
+	if complete {
+		return false
+	}
+	if r.prunable(m) {
+		r.stats.pruned.Add(1)
+		return false
+	}
+	return true
+}
+
+// pruneEps absorbs floating-point noise in the ≤ comparison below.
+const pruneEps = 1e-12
+
+// prunable reports whether m cannot improve the top-k set: its maximum
+// possible final score does not exceed currentTopK. Ties are prunable —
+// k answers with at least that score are already guaranteed, and a tying
+// match can neither displace an entry nor raise its own root's entry
+// above the threshold.
+func (r *run) prunable(m *match) bool {
+	t, ok := r.topk.threshold()
+	return ok && m.maxFinal <= t+pruneEps
+}
+
+// nextServer implements the routing decision (Section 6.1.4) for the
+// match's unvisited servers.
+func (r *run) nextServer(m *match) int {
+	switch r.cfg.Routing {
+	case RoutingStatic:
+		for _, id := range r.order {
+			if !m.isVisited(id) {
+				return id
+			}
+		}
+	case RoutingMaxScore, RoutingMinScore:
+		best, bestVal := -1, 0.0
+		for _, id := range r.order {
+			if m.isVisited(id) {
+				continue
+			}
+			v := r.expContrib[id] * r.satisfyProb[id]
+			if best == -1 ||
+				(r.cfg.Routing == RoutingMaxScore && v > bestVal) ||
+				(r.cfg.Routing == RoutingMinScore && v < bestVal) {
+				best, bestVal = id, v
+			}
+		}
+		return best
+	case RoutingMinAlive:
+		best, bestVal := -1, 0.0
+		for _, id := range r.order {
+			if m.isVisited(id) {
+				continue
+			}
+			v := r.estimateAlive(m, id)
+			if best == -1 || v < bestVal {
+				best, bestVal = id, v
+			}
+		}
+		return best
+	}
+	return -1
+}
+
+// estimateAlive predicts how many extensions of m would survive pruning
+// after processing at server id — the min_alive_partial_matches cost
+// model: expected fanout × the fraction of the contribution range that
+// keeps the extension's maximum possible final score above currentTopK,
+// plus the survival of the null (leaf-deleted) extension when the server
+// is expected to find nothing.
+func (r *run) estimateAlive(m *match, id int) float64 {
+	maxC, minC := r.maxContrib[id], r.minContrib[id]
+	pSat, fan := r.satisfyProb[id], r.fanout[id]
+	t, ok := r.topk.threshold()
+	frac := 1.0
+	nullSurvives := 1.0
+	if ok {
+		need := t - m.maxFinal + maxC // minimum contribution to survive
+		switch {
+		case need <= minC:
+			frac = 1
+		case need > maxC:
+			frac = 0
+		case maxC > minC:
+			frac = (maxC - need) / (maxC - minC)
+		default:
+			frac = 0
+		}
+		if m.maxFinal-maxC < t {
+			nullSurvives = 0
+		}
+	}
+	return pSat*fan*frac + (1-pSat)*nullSurvives
+}

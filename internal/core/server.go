@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/relax"
+	"repro/internal/score"
+)
+
+// process runs one server operation (Section 5.2.1): the partial match m
+// arrives at server sid, the server probes the index for candidates
+// satisfying the (relaxed) structural predicate against the bound root,
+// validates each candidate through the conditional predicate sequence,
+// scores it, and spawns extended matches. When no candidate survives, the
+// outer-join spawns the null-extended match under leaf deletion;
+// otherwise the match dies.
+func (r *run) process(m *match, sid int) []*match {
+	e := r.Engine
+	r.stats.serverOps.Add(1)
+	spin(e.cfg.OpCost)
+	plan := e.plans[sid]
+	root := m.bindings[0]
+	cands := e.ix.Candidates(root, plan.ProbeAxis(), plan.Tag, e.vts[sid])
+
+	var exts []*match
+	for _, c := range cands {
+		r.stats.joinComparisons.Add(1)
+		structExact := plan.RootPath.HoldsExact(root.ID, c.ID)
+		if e.cfg.Relax == relax.None && !structExact {
+			continue
+		}
+		valid := true
+		for i := range plan.Conds {
+			cond := &plan.Conds[i]
+			if !m.isVisited(cond.OtherID) {
+				continue
+			}
+			other := m.bindings[cond.OtherID]
+			if other == nil {
+				// The related node was relaxed away. A candidate whose
+				// direct pattern parent is missing can only attach via
+				// subtree promotion.
+				if cond.DirectParent && cond.OtherIsAncestor && !e.cfg.Relax.Has(relax.SubtreePromotion) {
+					valid = false
+					break
+				}
+				continue
+			}
+			r.stats.joinComparisons.Add(1)
+			if plan.Check(*cond, c.ID, other.ID) == relax.CondFailed {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		variant := score.Relaxed
+		if structExact {
+			variant = score.Exact
+		}
+		contrib := e.cfg.Scorer.Contribution(sid, variant, c)
+		exts = append(exts, m.extend(sid, c, contrib, e.maxContrib[sid], r.nextSeq()))
+	}
+	if len(exts) == 0 {
+		if !e.cfg.Relax.Has(relax.LeafDeletion) || !r.nullAllowed(m, sid) {
+			return nil // inner-join semantics: the match dies
+		}
+		exts = append(exts, m.extend(sid, nil, 0, e.maxContrib[sid], r.nextSeq()))
+	}
+	r.stats.matchesCreated.Add(int64(len(exts)))
+	return exts
+}
+
+// nullAllowed reports whether the null (leaf-deleted) extension of m at
+// server sid is consistent: without subtree promotion, deleting a node
+// whose pattern child is already bound would orphan that child.
+func (r *run) nullAllowed(m *match, sid int) bool {
+	if r.cfg.Relax.Has(relax.SubtreePromotion) {
+		return true
+	}
+	for _, cid := range r.query.Nodes[sid].Children {
+		if m.bindings[cid] != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// topkSet is the shared candidate set of the k best (partial or complete)
+// matches, at most one per root node (Section 5.1). It provides the
+// currentTopK pruning threshold: the k-th best guaranteed score. A score
+// is guaranteed when the match's current score is a lower bound on some
+// final answer for its root — always true under leaf deletion (the match
+// as-is, with every remaining node deleted, is an answer), and true for
+// complete matches otherwise; callers enforce that policy by only
+// offering guaranteed scores.
+type topkSet struct {
+	mu sync.Mutex
+	k  int
+	// floor seeds the threshold (Config.Threshold / Figure 3's
+	// exogenous currentTopK).
+	floor    float64
+	hasFloor bool
+
+	best map[int]*topkEntry // root ordinal -> best known
+	top  []*topkEntry       // k best entries, sorted desc (score, then root asc)
+}
+
+type topkEntry struct {
+	rootOrd int
+	score   float64
+	m       *match
+	inTop   bool
+}
+
+func newTopkSet(k int, floor float64, hasFloor bool) *topkSet {
+	return &topkSet{
+		k:        k,
+		floor:    floor,
+		hasFloor: hasFloor,
+		best:     make(map[int]*topkEntry),
+	}
+}
+
+// offer records that root rootOrd is guaranteed to reach at least
+// m.score. It keeps the best match per root and maintains the top-k
+// slice.
+func (t *topkSet) offer(m *match) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rootOrd := m.rootOrd()
+	e := t.best[rootOrd]
+	if e == nil {
+		e = &topkEntry{rootOrd: rootOrd, score: m.score, m: m}
+		t.best[rootOrd] = e
+	} else {
+		if m.score < e.score || (m.score == e.score && m.seq >= e.m.seq) {
+			return
+		}
+		e.score = m.score
+		e.m = m
+	}
+	if e.inTop {
+		t.sortTop()
+		return
+	}
+	if len(t.top) < t.k {
+		e.inTop = true
+		t.top = append(t.top, e)
+		t.sortTop()
+		return
+	}
+	last := t.top[len(t.top)-1]
+	if e.score > last.score || (e.score == last.score && e.rootOrd < last.rootOrd) {
+		last.inTop = false
+		e.inTop = true
+		t.top[len(t.top)-1] = e
+		t.sortTop()
+	}
+}
+
+func (t *topkSet) sortTop() {
+	sort.Slice(t.top, func(i, j int) bool {
+		if t.top[i].score != t.top[j].score {
+			return t.top[i].score > t.top[j].score
+		}
+		return t.top[i].rootOrd < t.top[j].rootOrd
+	})
+}
+
+// threshold returns currentTopK: the k-th best guaranteed score, or the
+// seeded floor while fewer than k roots are known. ok is false when no
+// threshold exists yet (no pruning possible).
+func (t *topkSet) threshold() (v float64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.top) == t.k {
+		v, ok = t.top[len(t.top)-1].score, true
+		if t.hasFloor && t.floor > v {
+			v = t.floor
+		}
+		return v, ok
+	}
+	if t.hasFloor {
+		return t.floor, true
+	}
+	return 0, false
+}
+
+// answers returns the final top-k, best first.
+func (t *topkSet) answers() []Answer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Answer, 0, len(t.top))
+	for _, e := range t.top {
+		out = append(out, Answer{
+			Root:     e.m.bindings[0],
+			Bindings: e.m.bindings,
+			Score:    e.score,
+		})
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// Package dewey implements Dewey identifiers for XML nodes.
+//
+// A Dewey ID encodes the path from the document root to a node as the
+// sequence of child ordinals along that path: the root of a tree is []
+// (empty), its third child is [2], that child's first child is [2 0], and
+// so on. Dewey IDs make the XPath structural axes cheap to decide:
+//
+//   - parent/child:        child's ID is the parent's ID plus one component
+//   - ancestor/descendant: ancestor's ID is a strict prefix
+//   - document order:      lexicographic comparison
+//   - following-sibling:   equal prefixes, last component greater
+//
+// The Whirlpool servers (internal/core) evaluate every structural join
+// predicate through this package, mirroring the paper's Dewey-based
+// nested-loop joins (Section 6.2.1).
+package dewey
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ID is a Dewey identifier: the child-ordinal path from the root.
+// The zero value (nil) identifies a tree root. IDs are treated as
+// immutable; use Child or Copy instead of mutating components.
+type ID []int
+
+// Child returns the Dewey ID of the ordinal-th child of id.
+// The returned ID shares no storage with id.
+func (id ID) Child(ordinal int) ID {
+	child := make(ID, len(id)+1)
+	copy(child, id)
+	child[len(id)] = ordinal
+	return child
+}
+
+// Parent returns the Dewey ID of id's parent and true, or nil and false
+// if id is a root.
+func (id ID) Parent() (ID, bool) {
+	if len(id) == 0 {
+		return nil, false
+	}
+	return id[: len(id)-1 : len(id)-1], true
+}
+
+// Level returns the depth of the node: 0 for a root.
+func (id ID) Level() int { return len(id) }
+
+// Copy returns an independent copy of id.
+func (id ID) Copy() ID {
+	if id == nil {
+		return nil
+	}
+	out := make(ID, len(id))
+	copy(out, id)
+	return out
+}
+
+// Compare orders IDs in document order (preorder): -1 if id precedes
+// other, +1 if it follows, 0 if equal. An ancestor precedes its
+// descendants.
+func (id ID) Compare(other ID) int {
+	n := len(id)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case id[i] < other[i]:
+			return -1
+		case id[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(id) < len(other):
+		return -1
+	case len(id) > len(other):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether the two IDs address the same node.
+func (id ID) Equal(other ID) bool { return id.Compare(other) == 0 }
+
+// IsAncestorOf reports whether id is a strict ancestor of other, i.e.
+// id is a strict prefix of other.
+func (id ID) IsAncestorOf(other ID) bool {
+	if len(id) >= len(other) {
+		return false
+	}
+	for i, c := range id {
+		if other[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsParentOf reports whether other is a direct child of id.
+func (id ID) IsParentOf(other ID) bool {
+	return len(other) == len(id)+1 && id.IsAncestorOf(other)
+}
+
+// IsDescendantOf reports whether id is a strict descendant of other.
+func (id ID) IsDescendantOf(other ID) bool { return other.IsAncestorOf(id) }
+
+// IsChildOf reports whether id is a direct child of other.
+func (id ID) IsChildOf(other ID) bool { return other.IsParentOf(id) }
+
+// IsSiblingOf reports whether the two IDs share a parent and are distinct.
+func (id ID) IsSiblingOf(other ID) bool {
+	if len(id) != len(other) || len(id) == 0 {
+		return false
+	}
+	for i := 0; i < len(id)-1; i++ {
+		if id[i] != other[i] {
+			return false
+		}
+	}
+	return id[len(id)-1] != other[len(other)-1]
+}
+
+// IsFollowingSiblingOf reports whether id is a sibling of other that
+// appears after it in document order.
+func (id ID) IsFollowingSiblingOf(other ID) bool {
+	return id.IsSiblingOf(other) && id[len(id)-1] > other[len(other)-1]
+}
+
+// CommonPrefix returns the longest common prefix of the two IDs — the
+// Dewey ID of the nodes' lowest common ancestor when both belong to the
+// same tree.
+func (id ID) CommonPrefix(other ID) ID {
+	n := len(id)
+	if len(other) < n {
+		n = len(other)
+	}
+	i := 0
+	for i < n && id[i] == other[i] {
+		i++
+	}
+	return id[:i:i]
+}
+
+// DescendantUpperBound returns the smallest ID that is greater (in
+// document order) than every descendant of id. It is intended for
+// half-open range scans over document-ordered postings:
+// descendants(id) = [id, DescendantUpperBound(id)).
+func (id ID) DescendantUpperBound() ID {
+	if len(id) == 0 {
+		return nil // a root's descendants are unbounded within its tree
+	}
+	out := id.Copy()
+	out[len(out)-1]++
+	return out
+}
+
+// String renders the ID in the conventional dotted form, e.g. "2.0.4".
+// A root renders as "·".
+func (id ID) String() string {
+	if len(id) == 0 {
+		return "·"
+	}
+	var b strings.Builder
+	for i, c := range id {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// Parse parses the dotted form produced by String. "·" and "" both parse
+// to the root ID.
+func Parse(s string) (ID, error) {
+	if s == "" || s == "·" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ".")
+	id := make(ID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("dewey: invalid component %q in %q", p, s)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("dewey: negative component %d in %q", v, s)
+		}
+		id[i] = v
+	}
+	return id, nil
+}

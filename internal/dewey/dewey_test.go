@@ -1,0 +1,333 @@
+package dewey
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestChildParentRoundTrip(t *testing.T) {
+	root := ID(nil)
+	c2 := root.Child(2)
+	if got := c2.String(); got != "2" {
+		t.Fatalf("Child(2).String() = %q, want %q", got, "2")
+	}
+	c20 := c2.Child(0)
+	if got := c20.String(); got != "2.0" {
+		t.Fatalf("String() = %q, want %q", got, "2.0")
+	}
+	p, ok := c20.Parent()
+	if !ok || !p.Equal(c2) {
+		t.Fatalf("Parent(%v) = %v, %v; want %v, true", c20, p, ok, c2)
+	}
+	if _, ok := root.Parent(); ok {
+		t.Fatalf("root should have no parent")
+	}
+}
+
+func TestChildDoesNotAliasParentStorage(t *testing.T) {
+	base := ID{1, 2}
+	a := base.Child(3)
+	b := base.Child(4)
+	if a[2] != 3 || b[2] != 4 {
+		t.Fatalf("siblings alias storage: %v %v", a, b)
+	}
+}
+
+func TestParentDoesNotAliasForFurtherChildren(t *testing.T) {
+	id := ID{1, 2, 3}
+	p, _ := id.Parent()
+	c := p.Child(9)
+	if id[2] != 3 {
+		t.Fatalf("Child on Parent() clobbered original: %v", id)
+	}
+	if !reflect.DeepEqual(c, ID{1, 2, 9}) {
+		t.Fatalf("unexpected child: %v", c)
+	}
+}
+
+func TestCompareDocumentOrder(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "0", -1},       // root precedes its child
+		{"0", "1", -1},      // earlier sibling
+		{"1.5", "1.5", 0},   // equal
+		{"1.2", "1.10", -1}, // numeric, not lexicographic-string
+		{"2", "1.9.9", 1},
+		{"1", "1.0", -1}, // ancestor before descendant
+	}
+	for _, c := range cases {
+		a, err := Parse(c.a)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.a, err)
+		}
+		b, err := Parse(c.b)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.b, err)
+		}
+		if got := a.Compare(b); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := b.Compare(a); got != -c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestAncestorDescendant(t *testing.T) {
+	a := ID{1, 2}
+	d := ID{1, 2, 0, 4}
+	if !a.IsAncestorOf(d) {
+		t.Error("IsAncestorOf failed on strict prefix")
+	}
+	if a.IsAncestorOf(a) {
+		t.Error("a node is not its own ancestor")
+	}
+	if !d.IsDescendantOf(a) {
+		t.Error("IsDescendantOf failed")
+	}
+	if a.IsParentOf(d) {
+		t.Error("IsParentOf should require exactly one extra level")
+	}
+	if !a.IsParentOf(ID{1, 2, 7}) {
+		t.Error("IsParentOf failed on direct child")
+	}
+	if (ID{1, 3}).IsAncestorOf(d) {
+		t.Error("non-prefix claimed as ancestor")
+	}
+}
+
+func TestSiblings(t *testing.T) {
+	a := ID{3, 1}
+	b := ID{3, 4}
+	if !a.IsSiblingOf(b) || !b.IsSiblingOf(a) {
+		t.Error("IsSiblingOf failed")
+	}
+	if a.IsSiblingOf(a) {
+		t.Error("a node is not its own sibling")
+	}
+	if !b.IsFollowingSiblingOf(a) {
+		t.Error("b should follow a")
+	}
+	if a.IsFollowingSiblingOf(b) {
+		t.Error("a should not follow b")
+	}
+	if (ID{3, 1}).IsSiblingOf(ID{4, 1}) {
+		t.Error("different parents are not siblings")
+	}
+	if (ID{}).IsSiblingOf(ID{}) {
+		t.Error("roots are not siblings of themselves")
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	a := ID{1, 2, 3}
+	b := ID{1, 2, 5, 0}
+	got := a.CommonPrefix(b)
+	if !got.Equal(ID{1, 2}) {
+		t.Fatalf("CommonPrefix = %v, want 1.2", got)
+	}
+	if cp := a.CommonPrefix(ID{9}); len(cp) != 0 {
+		t.Fatalf("disjoint prefix should be empty, got %v", cp)
+	}
+}
+
+func TestDescendantUpperBound(t *testing.T) {
+	id := ID{1, 2}
+	ub := id.DescendantUpperBound()
+	if !ub.Equal(ID{1, 3}) {
+		t.Fatalf("upper bound = %v, want 1.3", ub)
+	}
+	// Every descendant sorts in [id, ub).
+	for _, d := range []ID{{1, 2, 0}, {1, 2, 99}, {1, 2, 5, 5}} {
+		if d.Compare(id) < 0 || d.Compare(ub) >= 0 {
+			t.Errorf("descendant %v outside [%v,%v)", d, id, ub)
+		}
+	}
+	for _, nd := range []ID{{1, 3}, {1, 1, 9}, {2}} {
+		if nd.Compare(id) > 0 && nd.Compare(ub) < 0 {
+			t.Errorf("non-descendant %v inside range", nd)
+		}
+	}
+	// The original must not be mutated.
+	if !id.Equal(ID{1, 2}) {
+		t.Fatalf("DescendantUpperBound mutated receiver: %v", id)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"·", "0", "1.2.3", "10.0.7"} {
+		id, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := id.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	for _, bad := range []string{"a", "1..2", "-1", "1.-2"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAxisHolds(t *testing.T) {
+	p := ID{0}
+	c := ID{0, 1}
+	d := ID{0, 1, 2}
+	s := ID{0, 3}
+	cases := []struct {
+		axis     Axis
+		from, to ID
+		want     bool
+	}{
+		{Self, p, p, true},
+		{Self, p, c, false},
+		{Child, p, c, true},
+		{Child, p, d, false},
+		{Descendant, p, c, true},
+		{Descendant, p, d, true},
+		{Descendant, p, p, false},
+		{FollowingSibling, c, s, true},
+		{FollowingSibling, s, c, false},
+		{FollowingSibling, c, d, false},
+	}
+	for _, tc := range cases {
+		if got := tc.axis.Holds(tc.from, tc.to); got != tc.want {
+			t.Errorf("%v.Holds(%v,%v) = %v, want %v", tc.axis, tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestAxisRelaxAndCompose(t *testing.T) {
+	if Child.Relax() != Descendant {
+		t.Error("pc must relax to ad")
+	}
+	if Descendant.Relax() != Descendant || Self.Relax() != Self {
+		t.Error("non-pc axes relax to themselves")
+	}
+	if Compose(Self, Child) != Child || Compose(Child, Self) != Child {
+		t.Error("Self must be the identity for Compose")
+	}
+	if Compose(Child, Child) != Descendant {
+		t.Error("pc∘pc must widen to ad")
+	}
+	if Compose(Descendant, Child) != Descendant || Compose(Child, Descendant) != Descendant {
+		t.Error("compositions through ad are ad")
+	}
+}
+
+func TestAxisStrings(t *testing.T) {
+	names := map[Axis]string{
+		Self: "self", Child: "pc", Descendant: "ad", FollowingSibling: "following-sibling",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if Axis(99).String() != "axis(?)" {
+		t.Error("unknown axis should render a placeholder")
+	}
+}
+
+// randomID produces a bounded random Dewey ID for property tests.
+func randomID(r *rand.Rand) ID {
+	n := r.Intn(6)
+	id := make(ID, n)
+	for i := range id {
+		id[i] = r.Intn(4)
+	}
+	return id
+}
+
+func TestPropCompareIsTotalOrder(t *testing.T) {
+	// Antisymmetry and transitivity over random triples.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomID(r), randomID(r), randomID(r)
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAncestorIffDocOrderSandwich(t *testing.T) {
+	// a is an ancestor of d iff a <= d < a's descendant upper bound
+	// (for non-root a), matching the range-scan contract.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, d := randomID(r), randomID(r)
+		if len(a) == 0 {
+			return true
+		}
+		inRange := a.Compare(d) < 0 && d.Compare(a.DescendantUpperBound()) < 0
+		return inRange == a.IsAncestorOf(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropChildImpliesDescendant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomID(r), randomID(r)
+		if Child.Holds(a, b) && !Descendant.Holds(a, b) {
+			return false
+		}
+		// Relaxation containment: anything satisfying an axis satisfies
+		// its relaxed form.
+		for _, ax := range []Axis{Self, Child, Descendant, FollowingSibling} {
+			if ax.Holds(a, b) && !ax.Relax().Holds(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropCommonPrefixIsAncestorOrSelf(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomID(r), randomID(r)
+		cp := a.CommonPrefix(b)
+		okA := cp.Equal(a) || cp.IsAncestorOf(a)
+		okB := cp.Equal(b) || cp.IsAncestorOf(b)
+		return okA && okB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDocumentOrderSortStable(t *testing.T) {
+	// Sorting by Compare yields ancestors before descendants.
+	r := rand.New(rand.NewSource(7))
+	ids := make([]ID, 200)
+	for i := range ids {
+		ids[i] = randomID(r)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+	for i := 0; i+1 < len(ids); i++ {
+		if ids[i+1].IsAncestorOf(ids[i]) {
+			t.Fatalf("descendant %v sorted before ancestor %v", ids[i], ids[i+1])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package estimate provides cheap XML selectivity estimation for the
+// size-based router. The paper notes that min_alive_partial_matches
+// "can be computed using estimates of the number of extensions ... such
+// estimates could be obtained by using work on selectivity estimation
+// for XML" (Section 6.1.4); this package implements the classic
+// Markov-table approach: a one-pass summary records per-tag node counts
+// and parent→child tag transition counts, and descendant cardinalities
+// are estimated by composing transitions under the Markov assumption.
+//
+// The summary is O(#distinct tag pairs) in memory and O(#nodes) to
+// build, reusable across every query — unlike the exact per-query
+// statistics, which scan postings per query node.
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+// Summary is the Markov table: tag counts and parent→child transition
+// counts.
+type Summary struct {
+	tagCount  map[string]int
+	pairCount map[pair]int
+	// maxDepth bounds descendant-path composition; it is the document's
+	// observed height.
+	maxDepth int
+	// memo caches descendant fanout estimates.
+	memo map[pair]float64
+}
+
+type pair struct{ parent, child string }
+
+// Summarize builds the Markov table for doc in one preorder pass.
+func Summarize(doc *xmltree.Document) *Summary {
+	s := &Summary{
+		tagCount:  make(map[string]int),
+		pairCount: make(map[pair]int),
+		memo:      make(map[pair]float64),
+	}
+	for _, n := range doc.Nodes {
+		s.tagCount[n.Tag]++
+		if n.Level() > s.maxDepth {
+			s.maxDepth = n.Level()
+		}
+		if n.Parent != nil {
+			s.pairCount[pair{n.Parent.Tag, n.Tag}]++
+		}
+	}
+	return s
+}
+
+// TagCount returns the number of nodes with the tag.
+func (s *Summary) TagCount(tag string) int { return s.tagCount[tag] }
+
+// childFanout is the expected number of direct tag children of a
+// parentTag node.
+func (s *Summary) childFanout(parentTag, tag string) float64 {
+	parents := s.tagCount[parentTag]
+	if parents == 0 {
+		return 0
+	}
+	return float64(s.pairCount[pair{parentTag, tag}]) / float64(parents)
+}
+
+// Fanout estimates the expected number of tag nodes on the given axis of
+// an anchorTag node. Child uses the transition table directly;
+// Descendant composes transitions along all tag paths up to the document
+// height under the Markov assumption.
+func (s *Summary) Fanout(anchorTag string, axis dewey.Axis, tag string) float64 {
+	switch axis {
+	case dewey.Child:
+		return s.childFanout(anchorTag, tag)
+	case dewey.Descendant:
+		return s.descendantFanout(anchorTag, tag)
+	case dewey.Self:
+		if anchorTag == tag {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// descendantFanout computes Σ over path lengths k ≥ 1 of the expected
+// number of tag nodes exactly k levels below an anchorTag node,
+// memoized per (anchor, tag).
+func (s *Summary) descendantFanout(anchorTag, tag string) float64 {
+	key := pair{anchorTag, tag}
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	// level holds the expected number of nodes per intermediate tag at
+	// the current depth below one anchor node.
+	level := map[string]float64{anchorTag: 1}
+	total := 0.0
+	for depth := 0; depth < s.maxDepth && len(level) > 0; depth++ {
+		next := make(map[string]float64)
+		for parentTag, cnt := range level {
+			for p, occurrences := range s.pairCount {
+				if p.parent != parentTag {
+					continue
+				}
+				f := cnt * float64(occurrences) / float64(s.tagCount[parentTag])
+				if f < 1e-12 {
+					continue
+				}
+				next[p.child] += f
+			}
+		}
+		total += next[tag]
+		level = next
+	}
+	s.memo[key] = total
+	return total
+}
+
+// Selectivity estimates the probability that an anchorTag node has at
+// least one tag node on the axis, approximating occurrence counts as
+// Poisson: P(≥1) = 1 - e^(-fanout).
+func (s *Summary) Selectivity(anchorTag string, axis dewey.Axis, tag string) float64 {
+	f := s.Fanout(anchorTag, axis, tag)
+	if f <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-f)
+}
+
+// String dumps the table (sorted) for debugging.
+func (s *Summary) String() string {
+	keys := make([]pair, 0, len(s.pairCount))
+	for k := range s.pairCount {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].parent != keys[j].parent {
+			return keys[i].parent < keys[j].parent
+		}
+		return keys[i].child < keys[j].child
+	})
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s→%s: %d\n", k.parent, k.child, s.pairCount[k])
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package index provides the per-document access paths the Whirlpool
+// servers probe: tag postings in document order, (tag, value) postings for
+// content predicates, and Dewey-range scans for the structural axes. It
+// also computes the database statistics behind the paper's tf*idf scoring
+// (Section 4) and the routing estimates (Section 6.1.4): predicate
+// satisfaction counts, fanouts, and maximum term frequencies.
+//
+// When a query is executed on an XML document, "the document is parsed and
+// nodes involved in the query are stored in indexes along with their Dewey
+// encoding" (Section 6.2.1); Build is that step.
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+// Index holds the access paths for one document.
+type Index struct {
+	// Doc is the indexed document.
+	Doc *xmltree.Document
+
+	byTag      map[string][]*xmltree.Node
+	byTagValue map[string][]*xmltree.Node
+
+	mu       sync.Mutex
+	filtered map[string][]*xmltree.Node // cache for non-equality value tests
+}
+
+// Build constructs the index over doc in a single preorder pass, so all
+// postings lists are in document (Dewey) order.
+func Build(doc *xmltree.Document) *Index {
+	ix := &Index{
+		Doc:        doc,
+		byTag:      make(map[string][]*xmltree.Node),
+		byTagValue: make(map[string][]*xmltree.Node),
+		filtered:   make(map[string][]*xmltree.Node),
+	}
+	for _, n := range doc.Nodes {
+		ix.byTag[n.Tag] = append(ix.byTag[n.Tag], n)
+		if n.Value != "" {
+			key := valueKey(n.Tag, n.Value)
+			ix.byTagValue[key] = append(ix.byTagValue[key], n)
+		}
+	}
+	return ix
+}
+
+func valueKey(tag, value string) string { return tag + "\x00" + value }
+
+// Nodes returns all nodes with the given tag in document order. The
+// returned slice is shared; callers must not modify it.
+func (ix *Index) Nodes(tag string) []*xmltree.Node { return ix.byTag[tag] }
+
+// NodesValued returns all nodes with the given tag and, when value is
+// non-empty, exactly that text value, in document order.
+func (ix *Index) NodesValued(tag, value string) []*xmltree.Node {
+	if value == "" {
+		return ix.byTag[tag]
+	}
+	return ix.byTagValue[valueKey(tag, value)]
+}
+
+// NodesMatching returns the nodes with the given tag whose values satisfy
+// vt, in document order. Match-any and equality tests hit postings
+// directly; other operators filter the tag postings once and cache the
+// result.
+func (ix *Index) NodesMatching(tag string, vt ValueTest) []*xmltree.Node {
+	switch {
+	case vt.Any():
+		return ix.byTag[tag]
+	case vt.IsEquality():
+		return ix.byTagValue[valueKey(tag, vt.Value)]
+	}
+	key := tag + "\x01" + vt.Op + "\x01" + vt.Value
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if cached, ok := ix.filtered[key]; ok {
+		return cached
+	}
+	var out []*xmltree.Node
+	for _, n := range ix.byTag[tag] {
+		if vt.Matches(n.Value) {
+			out = append(out, n)
+		}
+	}
+	ix.filtered[key] = out
+	return out
+}
+
+// CountTag returns the number of nodes with the given tag.
+func (ix *Index) CountTag(tag string) int { return len(ix.byTag[tag]) }
+
+// Candidates returns the nodes with the given tag whose values satisfy
+// vt, on the given axis of anchor, in document order. Supported axes are
+// Self, Child and Descendant — the axes structural probes use after
+// Algorithm 1's composition to the query root.
+func (ix *Index) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) []*xmltree.Node {
+	switch axis {
+	case dewey.Self:
+		if anchor.Tag == tag && vt.Matches(anchor.Value) {
+			return []*xmltree.Node{anchor}
+		}
+		return nil
+	case dewey.Child:
+		var out []*xmltree.Node
+		for _, c := range anchor.Children {
+			if c.Tag == tag && vt.Matches(c.Value) {
+				out = append(out, c)
+			}
+		}
+		return out
+	case dewey.Descendant:
+		return ix.rangeScan(anchor, tag, vt)
+	default:
+		// FollowingSibling never survives composition to the root
+		// (dewey.Compose widens it); direct sibling checks happen in the
+		// conditional-predicate phase against bound nodes.
+		return nil
+	}
+}
+
+// HasCandidate reports whether at least one candidate exists; it is the
+// early-exit form of Candidates used for statistics gathering.
+func (ix *Index) HasCandidate(anchor *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) bool {
+	switch axis {
+	case dewey.Self:
+		return anchor.Tag == tag && vt.Matches(anchor.Value)
+	case dewey.Child:
+		for _, c := range anchor.Children {
+			if c.Tag == tag && vt.Matches(c.Value) {
+				return true
+			}
+		}
+		return false
+	case dewey.Descendant:
+		postings := ix.NodesMatching(tag, vt)
+		i := firstAfter(postings, anchor.ID)
+		return i < len(postings) && anchor.ID.IsAncestorOf(postings[i].ID)
+	default:
+		return false
+	}
+}
+
+// rangeScan collects the postings inside anchor's descendant Dewey range.
+func (ix *Index) rangeScan(anchor *xmltree.Node, tag string, vt ValueTest) []*xmltree.Node {
+	postings := ix.NodesMatching(tag, vt)
+	lo := firstAfter(postings, anchor.ID)
+	var out []*xmltree.Node
+	for i := lo; i < len(postings); i++ {
+		if !anchor.ID.IsAncestorOf(postings[i].ID) {
+			break
+		}
+		out = append(out, postings[i])
+	}
+	return out
+}
+
+// firstAfter returns the index of the first posting strictly after id in
+// document order.
+func firstAfter(postings []*xmltree.Node, id dewey.ID) int {
+	return sort.Search(len(postings), func(i int) bool {
+		return postings[i].ID.Compare(id) > 0
+	})
+}

@@ -1,0 +1,31 @@
+package index
+
+import (
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+// Source is the access-path contract the engine, the scorers and the
+// reference evaluators consume. The in-memory Index implements it, as
+// does the disk-backed store.Reader — the paper's observation that
+// adaptivity pays off most "in scenarios where data is stored on disk"
+// (Section 6.3.3) is exercised by swapping implementations.
+type Source interface {
+	// Nodes returns all nodes with the given tag in document order.
+	Nodes(tag string) []*xmltree.Node
+	// NodesMatching returns the nodes with the tag whose values satisfy
+	// vt, in document order.
+	NodesMatching(tag string, vt ValueTest) []*xmltree.Node
+	// CountTag returns the number of nodes with the tag.
+	CountTag(tag string) int
+	// Candidates returns the tag nodes satisfying vt on the given axis
+	// of anchor, in document order. Axes: Self, Child, Descendant.
+	Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) []*xmltree.Node
+	// Predicate computes database statistics for the component
+	// predicate relating rootTag nodes to (tag, vt) nodes via axis.
+	Predicate(rootTag string, axis dewey.Axis, tag string, vt ValueTest) PredicateStats
+	// TF returns Definition 4.3's term frequency for node n.
+	TF(n *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) int
+}
+
+var _ Source = (*Index)(nil)

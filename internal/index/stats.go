@@ -1,0 +1,100 @@
+package index
+
+import (
+	"repro/internal/dewey"
+	"repro/internal/xmltree"
+)
+
+// PredicateStats summarizes how one XPath component predicate
+// p(q0, qi) — "a q0 node has a qi node (optionally with a value) on axis
+// a" — behaves across the database. It feeds Definition 4.2's idf
+// (Satisfying), Definition 4.3's tf bounds (MaxTF), and the size-based
+// routing estimates of Section 6.1.4 (TotalPairs / Satisfying ≈ fanout).
+type PredicateStats struct {
+	// RootCount is |{n : tag(n) = q0}| — Definition 4.2's numerator.
+	RootCount int
+	// Satisfying is the number of q0 nodes with at least one qi node on
+	// the axis — Definition 4.2's denominator.
+	Satisfying int
+	// TotalPairs is the total number of (q0, qi) pairs related by the
+	// axis, i.e. Σ over q0 nodes of tf.
+	TotalPairs int
+	// MaxTF is the largest tf any single q0 node attains.
+	MaxTF int
+}
+
+// Selectivity returns Satisfying / RootCount in [0, 1]; 0 when the
+// database has no q0 nodes.
+func (s PredicateStats) Selectivity() float64 {
+	if s.RootCount == 0 {
+		return 0
+	}
+	return float64(s.Satisfying) / float64(s.RootCount)
+}
+
+// MeanFanout returns the average number of qi extensions per *satisfying*
+// q0 node (≥ 1 when Satisfying > 0), the expected join fanout used by the
+// min_alive_partial_matches router.
+func (s PredicateStats) MeanFanout() float64 {
+	if s.Satisfying == 0 {
+		return 0
+	}
+	return float64(s.TotalPairs) / float64(s.Satisfying)
+}
+
+// Predicate computes PredicateStats for the component predicate relating
+// rootTag nodes to (tag, value) nodes via axis. Axis must be Child,
+// Descendant or Self.
+func (ix *Index) Predicate(rootTag string, axis dewey.Axis, tag string, vt ValueTest) PredicateStats {
+	roots := ix.Nodes(rootTag)
+	st := PredicateStats{RootCount: len(roots)}
+	for _, r := range roots {
+		tf := ix.countCandidates(r, axis, tag, vt)
+		if tf > 0 {
+			st.Satisfying++
+			st.TotalPairs += tf
+			if tf > st.MaxTF {
+				st.MaxTF = tf
+			}
+		}
+	}
+	return st
+}
+
+// countCandidates counts without materializing.
+func (ix *Index) countCandidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) int {
+	switch axis {
+	case dewey.Self:
+		if anchor.Tag == tag && vt.Matches(anchor.Value) {
+			return 1
+		}
+		return 0
+	case dewey.Child:
+		n := 0
+		for _, c := range anchor.Children {
+			if c.Tag == tag && vt.Matches(c.Value) {
+				n++
+			}
+		}
+		return n
+	case dewey.Descendant:
+		postings := ix.NodesMatching(tag, vt)
+		lo := firstAfter(postings, anchor.ID)
+		n := 0
+		for i := lo; i < len(postings); i++ {
+			if !anchor.ID.IsAncestorOf(postings[i].ID) {
+				break
+			}
+			n++
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// TF returns Definition 4.3's term frequency: the number of (tag, value)
+// nodes on the given axis of node n.
+func (ix *Index) TF(n *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) int {
+	return ix.countCandidates(n, axis, tag, vt)
+}

@@ -1,0 +1,118 @@
+package index
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueTest is a content predicate on a node's text value. The zero
+// value accepts any node ("no content predicate"). Equality tests are
+// served from the (tag, value) postings; the other operators filter the
+// tag postings.
+type ValueTest struct {
+	// Op is one of "", "=", "!=", "<", "<=", ">", ">=", "contains".
+	Op string
+	// Value is the comparand: a string for =, !=, contains; a decimal
+	// number for the ordered comparisons.
+	Value string
+
+	num   float64
+	isNum bool
+}
+
+// Test builds a ValueTest, normalizing the legacy convention that a
+// non-empty value with an empty op means equality. Ordered comparisons
+// pre-parse the comparand.
+func Test(op, value string) ValueTest {
+	if op == "" {
+		if value == "" {
+			return ValueTest{}
+		}
+		op = "="
+	}
+	vt := ValueTest{Op: op, Value: value}
+	switch op {
+	case "<", "<=", ">", ">=":
+		if n, err := strconv.ParseFloat(value, 64); err == nil {
+			vt.num = n
+			vt.isNum = true
+		}
+	}
+	return vt
+}
+
+// ValueEq is the equality test (or match-any for "").
+func ValueEq(value string) ValueTest { return Test("", value) }
+
+// Any reports whether the test accepts every value.
+func (vt ValueTest) Any() bool { return vt.Op == "" }
+
+// IsEquality reports whether the test is an equality usable against the
+// (tag, value) postings.
+func (vt ValueTest) IsEquality() bool { return vt.Op == "=" }
+
+// Matches reports whether a node's text value satisfies the test.
+// Ordered comparisons require both sides to parse as decimal numbers.
+func (vt ValueTest) Matches(v string) bool {
+	switch vt.Op {
+	case "":
+		return true
+	case "=":
+		return v == vt.Value
+	case "!=":
+		return v != vt.Value
+	case "contains":
+		return strings.Contains(v, vt.Value)
+	case "<", "<=", ">", ">=":
+		if !vt.isNum {
+			return false
+		}
+		n, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return false
+		}
+		switch vt.Op {
+		case "<":
+			return n < vt.num
+		case "<=":
+			return n <= vt.num
+		case ">":
+			return n > vt.num
+		default:
+			return n >= vt.num
+		}
+	default:
+		return false
+	}
+}
+
+// Valid reports whether the operator is supported and, for ordered
+// comparisons, whether the comparand is numeric.
+func (vt ValueTest) Valid() error {
+	switch vt.Op {
+	case "", "=", "!=", "contains":
+		return nil
+	case "<", "<=", ">", ">=":
+		if !vt.isNum {
+			return fmt.Errorf("index: comparand %q of %q is not numeric", vt.Value, vt.Op)
+		}
+		return nil
+	default:
+		return fmt.Errorf("index: unsupported value operator %q", vt.Op)
+	}
+}
+
+// String renders the predicate, e.g. `= 'x'` or `< 10`.
+func (vt ValueTest) String() string {
+	switch vt.Op {
+	case "":
+		return ""
+	case "<", "<=", ">", ">=":
+		return fmt.Sprintf("%s %s", vt.Op, vt.Value)
+	case "contains":
+		return fmt.Sprintf("contains '%s'", vt.Value)
+	default:
+		return fmt.Sprintf("%s '%s'", vt.Op, vt.Value)
+	}
+}

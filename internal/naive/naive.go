@@ -1,0 +1,169 @@
+// Package naive is the reference evaluator used to validate the Whirlpool
+// engines: it exhaustively enumerates every (relaxed) match tuple per
+// root candidate, scores each with the same Scorer, keeps each root's
+// best tuple, and returns the k best roots. It shares no evaluation
+// machinery with internal/core beyond the predicate-composition helpers,
+// so agreement between the two is meaningful evidence of correctness.
+//
+// Enumeration is exponential in query size by design — use it on small
+// documents only.
+package naive
+
+import (
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/score"
+	"repro/internal/xmltree"
+)
+
+// Answer is one ranked result.
+type Answer struct {
+	Root  *xmltree.Node
+	Score float64
+}
+
+// TopK evaluates q over ix under the given relaxations, scoring tuples
+// with s, and returns the k best distinct roots (best tuple score per
+// root), best first, ties by document order.
+func TopK(ix index.Source, q *pattern.Query, r relax.Relaxation, s score.Scorer, k int) []Answer {
+	ev := &evaluator{ix: ix, q: q, relax: r, scorer: s}
+	ev.prepare()
+	var answers []Answer
+	for _, root := range ix.NodesMatching(q.Root().Tag, index.Test(q.Root().ValueOp, q.Root().Value)) {
+		rootVariant, ok := ev.rootVariant(root)
+		if !ok {
+			continue
+		}
+		base := s.Contribution(0, rootVariant, root)
+		best, found := ev.bestTuple(root, base)
+		if !found {
+			continue
+		}
+		answers = append(answers, Answer{Root: root, Score: best})
+	}
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Score != answers[j].Score {
+			return answers[i].Score > answers[j].Score
+		}
+		return answers[i].Root.Ord < answers[j].Root.Ord
+	})
+	if len(answers) > k {
+		answers = answers[:k]
+	}
+	return answers
+}
+
+type evaluator struct {
+	ix     index.Source
+	q      *pattern.Query
+	relax  relax.Relaxation
+	scorer score.Scorer
+
+	rootPath []relax.PathPredicate // exact composition root -> node
+}
+
+func (ev *evaluator) prepare() {
+	n := ev.q.Size()
+	ev.rootPath = make([]relax.PathPredicate, n)
+	for id := 1; id < n; id++ {
+		ev.rootPath[id] = relax.ComposePath(ev.q, 0, id)
+	}
+}
+
+// rootVariant classifies the root binding against the virtual document
+// root, rejecting non-forest-root bindings of /tag queries when edge
+// generalization is off.
+func (ev *evaluator) rootVariant(root *xmltree.Node) (score.Variant, bool) {
+	if ev.q.Root().Axis == dewey.Child && root.Level() != 1 {
+		if !ev.relax.Has(relax.EdgeGeneralization) {
+			return 0, false
+		}
+		return score.Relaxed, true
+	}
+	return score.Exact, true
+}
+
+// bestTuple enumerates every consistent assignment of document nodes (or
+// nil) to the non-root query nodes and returns the best total score.
+func (ev *evaluator) bestTuple(root *xmltree.Node, base float64) (float64, bool) {
+	n := ev.q.Size()
+	assignment := make([]*xmltree.Node, n)
+	assignment[0] = root
+	best, found := 0.0, false
+	var recurse func(id int, acc float64)
+	recurse = func(id int, acc float64) {
+		if id == n {
+			if !found || acc > best {
+				best, found = acc, true
+			}
+			return
+		}
+		qn := ev.q.Nodes[id]
+		// Candidates: all descendants of the root binding with the right
+		// tag/value.
+		for _, c := range ev.ix.Candidates(root, dewey.Descendant, qn.Tag, index.Test(qn.ValueOp, qn.Value)) {
+			if !ev.validBinding(assignment, id, c) {
+				continue
+			}
+			variant := score.Relaxed
+			if ev.rootPath[id].HoldsExact(root.ID, c.ID) {
+				variant = score.Exact
+			}
+			if ev.relax == relax.None && variant != score.Exact {
+				continue
+			}
+			assignment[id] = c
+			recurse(id+1, acc+ev.scorer.Contribution(id, variant, c))
+			assignment[id] = nil
+		}
+		if ev.relax.Has(relax.LeafDeletion) && ev.nullOK(assignment, id) {
+			recurse(id+1, acc)
+		}
+	}
+	recurse(1, base)
+	return best, found
+}
+
+// validBinding checks candidate c for query node id against the already
+// assigned nodes (all pattern ancestors of id have smaller IDs, so the
+// parent is always decided first).
+func (ev *evaluator) validBinding(assignment []*xmltree.Node, id int, c *xmltree.Node) bool {
+	qn := ev.q.Nodes[id]
+	parent := qn.Parent
+	pBind := assignment[parent]
+	if qn.Axis == dewey.FollowingSibling {
+		// Sibling order admits no relaxation; a deleted anchor waives it.
+		if pBind != nil && !c.ID.IsFollowingSiblingOf(pBind.ID) {
+			return false
+		}
+		// Structural containment for fs nodes is inherited from the
+		// anchor's parent, which the root-descendant probe covers.
+		return true
+	}
+	if pBind == nil {
+		// Parent relaxed away: only subtree promotion re-anchors c.
+		return parent == 0 || ev.relax.Has(relax.SubtreePromotion)
+	}
+	exactHolds := pBind.ID.IsParentOf(c.ID)
+	if qn.Axis == dewey.Descendant {
+		exactHolds = pBind.ID.IsAncestorOf(c.ID)
+	}
+	if exactHolds {
+		return true
+	}
+	if ev.relax.Has(relax.EdgeGeneralization) && pBind.ID.IsAncestorOf(c.ID) {
+		return true
+	}
+	return ev.relax.Has(relax.SubtreePromotion)
+}
+
+// nullOK reports whether deleting node id is consistent; pattern children
+// are decided later, so with promotion off their own validBinding calls
+// reject bindings under a deleted parent.
+func (ev *evaluator) nullOK(assignment []*xmltree.Node, id int) bool {
+	return true
+}

@@ -1,0 +1,120 @@
+package naive
+
+import (
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/score"
+	"repro/internal/xmltree"
+)
+
+// TopKByRewriting evaluates top-k the way rewriting-based systems do
+// (the strategy plan-relaxation [2] was shown to beat): enumerate the
+// query's relaxation closure, compute the exact matches of every relaxed
+// query, score them against the *original* query's component predicates,
+// and merge. It exists as an independent semantics check for the engine
+// and as the baseline of the rewriting-vs-plan-relaxation ablation.
+//
+// The enumeration is capped at limit relaxed queries (0 = uncapped); the
+// boolean result reports truncation, in which case the answer set may be
+// incomplete.
+func TopKByRewriting(ix index.Source, q *pattern.Query, r relax.Relaxation, s score.Scorer, k, limit int) ([]Answer, bool) {
+	queries, truncated := relax.Enumerate(q, r, limit)
+	rootPath := make([]relax.PathPredicate, q.Size())
+	for id := 1; id < q.Size(); id++ {
+		rootPath[id] = relax.ComposePath(q, 0, id)
+	}
+	best := make(map[int]float64)
+	roots := make(map[int]*xmltree.Node)
+	for _, rq := range queries {
+		evalExact(ix, q, rq, rootPath, s, func(root *xmltree.Node, sc float64) {
+			if cur, ok := best[root.Ord]; !ok || sc > cur {
+				best[root.Ord] = sc
+				roots[root.Ord] = root
+			}
+		})
+	}
+	answers := make([]Answer, 0, len(best))
+	for ord, sc := range best {
+		answers = append(answers, Answer{Root: roots[ord], Score: sc})
+	}
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Score != answers[j].Score {
+			return answers[i].Score > answers[j].Score
+		}
+		return answers[i].Root.Ord < answers[j].Root.Ord
+	})
+	if len(answers) > k {
+		answers = answers[:k]
+	}
+	return answers, truncated
+}
+
+// evalExact enumerates the exact matches of relaxed query rq and reports
+// each root's best tuple score, computed against the original query's
+// component predicates (orig/rootPath) so scores are comparable across
+// the closure.
+func evalExact(ix index.Source, orig *pattern.Query, rq relax.RelaxedQuery, rootPath []relax.PathPredicate, s score.Scorer, yield func(*xmltree.Node, float64)) {
+	q := rq.Query
+	for _, root := range ix.NodesMatching(q.Root().Tag, index.Test(q.Root().ValueOp, q.Root().Value)) {
+		// Root axis is exact for the relaxed query; score the variant
+		// against the original root axis.
+		if q.Root().Axis == dewey.Child && root.Level() != 1 {
+			continue
+		}
+		rootVariant := score.Exact
+		if orig.Root().Axis == dewey.Child && root.Level() != 1 {
+			rootVariant = score.Relaxed
+		}
+		base := s.Contribution(0, rootVariant, root)
+		bindings := make([]*xmltree.Node, q.Size())
+		bindings[0] = root
+		best, found := 0.0, false
+		var recurse func(id int, acc float64)
+		recurse = func(id int, acc float64) {
+			if id == q.Size() {
+				if !found || acc > best {
+					best, found = acc, true
+				}
+				return
+			}
+			qn := q.Nodes[id]
+			vt := index.Test(qn.ValueOp, qn.Value)
+			parent := bindings[qn.Parent]
+			var cands []*xmltree.Node
+			switch qn.Axis {
+			case dewey.Child:
+				cands = ix.Candidates(parent, dewey.Child, qn.Tag, vt)
+			case dewey.Descendant:
+				cands = ix.Candidates(parent, dewey.Descendant, qn.Tag, vt)
+			case dewey.FollowingSibling:
+				gp := parent.Parent
+				if gp == nil {
+					break
+				}
+				for _, c := range ix.Candidates(gp, dewey.Child, qn.Tag, vt) {
+					if c.ID.IsFollowingSiblingOf(parent.ID) {
+						cands = append(cands, c)
+					}
+				}
+			}
+			origID := rq.NodeMap[id]
+			for _, c := range cands {
+				variant := score.Relaxed
+				if rootPath[origID].HoldsExact(root.ID, c.ID) {
+					variant = score.Exact
+				}
+				bindings[id] = c
+				recurse(id+1, acc+s.Contribution(origID, variant, c))
+				bindings[id] = nil
+			}
+		}
+		recurse(1, base)
+		if found {
+			yield(root, best)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package relax
+
+import (
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/pattern"
+)
+
+// TestCheckLeafDeletionOnlyMode: with only leaf deletion enabled,
+// containment predicates behave exactly (no edge generalization, no
+// promotion).
+func TestCheckLeafDeletionOnlyMode(t *testing.T) {
+	q := pattern.MustParse("/book[./info/publisher]")
+	var pubID int
+	for _, n := range q.Nodes {
+		if n.Tag == "publisher" {
+			pubID = n.ID
+		}
+	}
+	plan := BuildPlans(q, LeafDeletion)[pubID]
+	var infoCond Cond
+	for _, c := range plan.Conds {
+		if q.Nodes[c.OtherID].Tag == "info" {
+			infoCond = c
+		}
+	}
+	info := dewey.ID{0, 1}
+	direct := dewey.ID{0, 1, 0}
+	deep := dewey.ID{0, 1, 0, 2}
+	outside := dewey.ID{0, 2}
+	if plan.Check(infoCond, direct, info) != CondExact {
+		t.Fatal("direct child must be exact")
+	}
+	if plan.Check(infoCond, deep, info) != CondFailed {
+		t.Fatal("deep descendant must fail without edge generalization")
+	}
+	if plan.Check(infoCond, outside, info) != CondFailed {
+		t.Fatal("outside node must fail without promotion")
+	}
+	// Leaf-deletion-only probes stay precise where possible.
+	if plan.ProbeAxis() != dewey.Descendant {
+		t.Fatal("two-level path probes Descendant")
+	}
+	var infoID int
+	for _, n := range q.Nodes {
+		if n.Tag == "info" {
+			infoID = n.ID
+		}
+	}
+	if BuildPlans(q, LeafDeletion)[infoID].ProbeAxis() != dewey.Child {
+		t.Fatal("single pc edge probes Child when no widening relaxation is on")
+	}
+}
+
+// TestRelaxedProbeAlwaysWidens: any widening relaxation forces Descendant
+// probes even for direct pc edges.
+func TestRelaxedProbeAlwaysWidens(t *testing.T) {
+	q := pattern.MustParse("/a[./b]")
+	for _, r := range []Relaxation{EdgeGeneralization, SubtreePromotion, All} {
+		if BuildPlans(q, r)[1].ProbeAxis() != dewey.Descendant {
+			t.Fatalf("relaxation %v must widen the probe", r)
+		}
+	}
+}
+
+// TestPathPredicateZeroLevels covers the Self predicate edge cases.
+func TestPathPredicateZeroLevels(t *testing.T) {
+	pp := PathPredicate{MinLevels: 0, Exact: true}
+	self := dewey.ID{1, 2}
+	if !pp.HoldsExact(self, self) || !pp.HoldsRelaxed(self, self) {
+		t.Fatal("self predicate must hold on equal IDs")
+	}
+	child := dewey.ID{1, 2, 0}
+	if pp.HoldsExact(self, child) {
+		t.Fatal("exact self must reject descendants")
+	}
+	if !pp.HoldsRelaxed(self, child) {
+		t.Fatal("relaxed zero-level admits descendants")
+	}
+}

@@ -1,0 +1,242 @@
+package score
+
+import (
+	"math"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/xmltree"
+)
+
+// Axis aliases keeping the scoring code terse.
+const (
+	pcRootAxis      = dewey.Child
+	deweyDescendant = dewey.Descendant
+)
+
+// Normalization selects how raw idf contributions are rescaled — the
+// paper's sparse/dense scoring functions (Section 6.2.2), synthesized to
+// simulate datasets with uniform vs. skewed predicate scores.
+type Normalization int
+
+const (
+	// Raw applies no normalization.
+	Raw Normalization = iota
+	// Sparse normalizes each predicate's scores to [0, 1] independently
+	// (every predicate can contribute up to 1), yielding spread-out final
+	// scores and aggressive pruning.
+	Sparse
+	// Dense normalizes all predicates by the single global maximum, so
+	// low-idf predicates contribute little and final scores bunch
+	// together, weakening pruning.
+	Dense
+)
+
+// String returns the normalization name.
+func (n Normalization) String() string {
+	switch n {
+	case Raw:
+		return "raw"
+	case Sparse:
+		return "sparse"
+	case Dense:
+		return "dense"
+	default:
+		return "norm(?)"
+	}
+}
+
+// TFIDF scores bindings with the paper's XML tf*idf. For every query node
+// qi it precomputes the idf of the exact component predicate p(q0, qi)
+// (the unrelaxed composition of axes from the root) and of its fully
+// relaxed form; an exact binding contributes the exact idf, a relaxed
+// binding the (never larger) relaxed idf. Per-tuple tf is 1 — a root with
+// several ways to satisfy a predicate spawns several tuples, and the
+// top-k set keeps its best (AnswerScore aggregates the full Definition
+// 4.4 sum when whole-answer scores are wanted).
+type TFIDF struct {
+	idfExact   []float64
+	idfRelaxed []float64
+	norm       Normalization
+	scale      []float64 // per-node divisor derived from norm
+	expected   []float64
+}
+
+// NewTFIDF builds a tf*idf scorer for q against the indexed database ix.
+func NewTFIDF(ix index.Source, q *pattern.Query, norm Normalization) *TFIDF {
+	n := q.Size()
+	s := &TFIDF{
+		idfExact:   make([]float64, n),
+		idfRelaxed: make([]float64, n),
+		norm:       norm,
+		scale:      make([]float64, n),
+		expected:   make([]float64, n),
+	}
+	rootTag := q.Root().Tag
+	rootCount := ix.CountTag(rootTag)
+	for id := 0; id < n; id++ {
+		exactStats, relaxedStats := predicateStats(ix, q, id)
+		s.idfExact[id] = idf(rootCount, exactStats.Satisfying)
+		s.idfRelaxed[id] = idf(rootCount, relaxedStats.Satisfying)
+		if s.idfRelaxed[id] > s.idfExact[id] {
+			// Guard: relaxation can only widen the satisfying set, but
+			// smoothing could in principle invert degenerate cases.
+			s.idfRelaxed[id] = s.idfExact[id]
+		}
+		// Expected contribution ≈ selectivity-weighted average of the
+		// two variants: of the roots satisfying the relaxed predicate,
+		// the exactly-satisfying fraction earns the exact idf.
+		if relaxedStats.Satisfying > 0 {
+			pExact := float64(exactStats.Satisfying) / float64(relaxedStats.Satisfying)
+			s.expected[id] = pExact*s.idfExact[id] + (1-pExact)*s.idfRelaxed[id]
+		}
+	}
+	var global float64
+	for id := 0; id < n; id++ {
+		if s.idfExact[id] > global {
+			global = s.idfExact[id]
+		}
+	}
+	for id := 0; id < n; id++ {
+		switch norm {
+		case Sparse:
+			s.scale[id] = s.idfExact[id]
+		case Dense:
+			s.scale[id] = global
+		default:
+			s.scale[id] = 1
+		}
+		if s.scale[id] == 0 {
+			s.scale[id] = 1
+		}
+	}
+	return s
+}
+
+// idf is Definition 4.2 with add-one smoothing so that predicates
+// satisfied by every root still separate from unsatisfiable ones:
+// log(1 + rootCount/satisfying); an unsatisfiable predicate takes the
+// maximum log(1 + rootCount).
+func idf(rootCount, satisfying int) float64 {
+	if rootCount == 0 {
+		return 0
+	}
+	if satisfying == 0 {
+		return math.Log(1 + float64(rootCount))
+	}
+	return math.Log(1 + float64(rootCount)/float64(satisfying))
+}
+
+// predicateStats computes database statistics for the exact and relaxed
+// variants of component predicate p(q0, qi).
+func predicateStats(ix index.Source, q *pattern.Query, id int) (exact, relaxed index.PredicateStats) {
+	rootTag := q.Root().Tag
+	node := q.Nodes[id]
+	if id == 0 {
+		// The root's own predicate relates it to the virtual document
+		// root: a[parent::doc-root]. Exact requires a forest root for pc.
+		roots := ix.Nodes(rootTag)
+		exact.RootCount = len(roots)
+		relaxed.RootCount = len(roots)
+		for _, r := range roots {
+			relaxed.Satisfying++
+			relaxed.TotalPairs++
+			if node.Axis != pcRootAxis || r.Level() == 1 {
+				exact.Satisfying++
+				exact.TotalPairs++
+			}
+		}
+		exact.MaxTF, relaxed.MaxTF = 1, 1
+		return exact, relaxed
+	}
+	pp := relax.ComposePath(q, 0, id)
+	vt := index.Test(node.ValueOp, node.Value)
+	roots := ix.Nodes(rootTag)
+	exact.RootCount = len(roots)
+	relaxed.RootCount = len(roots)
+	for _, r := range roots {
+		tfExact, tfRelaxed := 0, 0
+		for _, c := range ix.Candidates(r, deweyDescendant, node.Tag, vt) {
+			tfRelaxed++
+			if pp.HoldsExact(r.ID, c.ID) {
+				tfExact++
+			}
+		}
+		accumulate(&exact, tfExact)
+		accumulate(&relaxed, tfRelaxed)
+	}
+	return exact, relaxed
+}
+
+func accumulate(st *index.PredicateStats, tf int) {
+	if tf > 0 {
+		st.Satisfying++
+		st.TotalPairs += tf
+		if tf > st.MaxTF {
+			st.MaxTF = tf
+		}
+	}
+}
+
+// Contribution implements Scorer.
+func (s *TFIDF) Contribution(nodeID int, v Variant, n *xmltree.Node) float64 {
+	switch v {
+	case Exact:
+		return s.idfExact[nodeID] / s.scale[nodeID]
+	case Relaxed:
+		return s.idfRelaxed[nodeID] / s.scale[nodeID]
+	default:
+		return 0
+	}
+}
+
+// MaxContribution implements Scorer.
+func (s *TFIDF) MaxContribution(nodeID int) float64 {
+	return s.idfExact[nodeID] / s.scale[nodeID]
+}
+
+// MinContribution implements Scorer.
+func (s *TFIDF) MinContribution(nodeID int) float64 {
+	return s.idfRelaxed[nodeID] / s.scale[nodeID]
+}
+
+// ExpectedContribution implements Scorer.
+func (s *TFIDF) ExpectedContribution(nodeID int) float64 {
+	return s.expected[nodeID] / s.scale[nodeID]
+}
+
+// IDF exposes the raw (unnormalized) idf values of the exact and relaxed
+// variants of node nodeID's component predicate, for inspection and
+// tests.
+func (s *TFIDF) IDF(nodeID int) (exact, relaxed float64) {
+	return s.idfExact[nodeID], s.idfRelaxed[nodeID]
+}
+
+// AnswerScore computes Definition 4.4's whole-answer score for a root
+// binding n: Σ over component predicates of idf(p)·tf(p, n), using the
+// exact predicate variants (an exact-match score; relaxation-aware
+// ranking flows through the engine's per-tuple scores instead). The same
+// normalization as the scorer applies.
+func AnswerScore(ix index.Source, q *pattern.Query, s *TFIDF, n *xmltree.Node) float64 {
+	total := 0.0
+	for id := 0; id < q.Size(); id++ {
+		qn := q.Nodes[id]
+		var tf int
+		if id == 0 {
+			if qn.Axis != pcRootAxis || n.Level() == 1 {
+				tf = 1
+			}
+		} else {
+			pp := relax.ComposePath(q, 0, id)
+			for _, c := range ix.Candidates(n, deweyDescendant, qn.Tag, index.Test(qn.ValueOp, qn.Value)) {
+				if pp.HoldsExact(n.ID, c.ID) {
+					tf++
+				}
+			}
+		}
+		total += s.idfExact[id] / s.scale[id] * float64(tf)
+	}
+	return total
+}

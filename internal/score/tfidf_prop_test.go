@@ -1,0 +1,44 @@
+package score
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropIDFMonotone: idf never increases as the satisfying count grows,
+// and stays non-negative and finite for sane inputs.
+func TestPropIDFMonotone(t *testing.T) {
+	f := func(rootsRaw, satARaw, satBRaw uint16) bool {
+		roots := int(rootsRaw)%1000 + 1
+		satA := int(satARaw) % (roots + 1)
+		satB := int(satBRaw) % (roots + 1)
+		if satA > satB {
+			satA, satB = satB, satA
+		}
+		a := idf(roots, satA)
+		b := idf(roots, satB)
+		if a < 0 || b < 0 {
+			return false
+		}
+		// Fewer satisfying roots ⇒ larger (or equal) idf.
+		return a >= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDFBoundaries(t *testing.T) {
+	if idf(0, 0) != 0 {
+		t.Fatal("empty database idf must be 0")
+	}
+	if idf(10, 0) < idf(10, 1) {
+		t.Fatal("unsatisfiable predicate must not rank below any satisfiable one")
+	}
+	if idf(10, 1) <= idf(10, 5) {
+		t.Fatal("idf must strictly separate clearly different selectivities")
+	}
+	if idf(10, 10) <= 0 {
+		t.Fatal("even a universal predicate keeps positive idf (smoothed)")
+	}
+}

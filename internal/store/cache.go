@@ -1,0 +1,70 @@
+package store
+
+import (
+	"container/list"
+
+	"repro/internal/xmltree"
+)
+
+// lruCache is a bounded map from postings key to decoded list, evicting
+// the least recently used entry on overflow. Limit 0 means unbounded.
+// Callers synchronize access (the Reader holds its mutex).
+type lruCache struct {
+	limit   int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheItem struct {
+	key   string
+	nodes []*xmltree.Node
+}
+
+func newLRUCache(limit int) *lruCache {
+	return &lruCache{
+		limit:   limit,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+func (c *lruCache) get(key string) ([]*xmltree.Node, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).nodes, true
+}
+
+func (c *lruCache) put(key string, nodes []*xmltree.Node) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheItem).nodes = nodes
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheItem{key: key, nodes: nodes})
+	c.evict()
+}
+
+func (c *lruCache) evict() {
+	if c.limit <= 0 {
+		return
+	}
+	for len(c.entries) > c.limit {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheItem).key)
+	}
+}
+
+// setLimit changes the bound, evicting immediately if needed.
+func (c *lruCache) setLimit(limit int) {
+	c.limit = limit
+	c.evict()
+}
+
+func (c *lruCache) len() int { return len(c.entries) }

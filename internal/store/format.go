@@ -1,0 +1,137 @@
+// Package store persists an indexed document as a compact binary
+// snapshot: opening a snapshot is much cheaper than re-parsing and
+// re-indexing the XML, and postings lists are decoded lazily per tag, so
+// a query touches only the access paths it probes. The Reader implements
+// index.Source, making it a drop-in replacement for the in-memory index
+// in the engine — the paper's disk-resident scenario (Section 6.3.3).
+//
+// File layout (all integers are unsigned varints unless noted):
+//
+//	magic   "WPX1" (4 bytes)
+//	nodeCnt
+//	tagCnt, tagCnt × { len, bytes }          — tag table
+//	nodeCnt × {                              — node records, preorder
+//	    tagID
+//	    parentOrd+1   (0 = forest root)
+//	    len, bytes    — text value
+//	}
+//	postCnt, postCnt × {                     — per-tag postings
+//	    tagID
+//	    n, n × delta-encoded ordinals
+//	}
+//	valCnt, valCnt × {                       — per-(tag,value) postings
+//	    tagID, len, valueBytes
+//	    n, n × delta-encoded ordinals
+//	}
+//
+// The Dewey IDs and children lists are reconstructed from parent links
+// at open time in one pass.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+var magic = [4]byte{'W', 'P', 'X', '1'}
+
+// enc is an append-only varint encoder.
+type enc struct{ buf []byte }
+
+func (e *enc) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *enc) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *enc) str(s string) { e.bytes([]byte(s)) }
+
+// dec is a sequential varint decoder with positional error reporting.
+type dec struct {
+	buf []byte
+	pos int
+}
+
+func (d *dec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("store: corrupt varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *dec) int() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if v > uint64(maxInt) {
+		return 0, fmt.Errorf("store: value %d overflows int at offset %d", v, d.pos)
+	}
+	return int(v), nil
+}
+
+func (d *dec) bytes() ([]byte, error) {
+	n, err := d.int()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos+n > len(d.buf) {
+		return nil, fmt.Errorf("store: truncated %d-byte field at offset %d", n, d.pos)
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+func (d *dec) str() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}
+
+// skipOrds fast-forwards over a delta-encoded ordinal list, returning the
+// byte range it occupied so lazy readers can come back to it.
+func (d *dec) skipOrds() (start, end, count int, err error) {
+	n, err := d.int()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start = d.pos
+	for i := 0; i < n; i++ {
+		if _, err := d.uvarint(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return start, d.pos, n, nil
+}
+
+// decodeOrds decodes a delta-encoded ordinal list from a byte range.
+func decodeOrds(buf []byte, count int) ([]int, error) {
+	d := &dec{buf: buf}
+	out := make([]int, count)
+	prev := -1
+	for i := 0; i < count; i++ {
+		delta, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		prev += delta + 1
+		out[i] = prev
+	}
+	return out, nil
+}
+
+// encodeOrds delta-encodes a strictly increasing ordinal list.
+func (e *enc) encodeOrds(ords []int) {
+	e.uvarint(uint64(len(ords)))
+	prev := -1
+	for _, o := range ords {
+		e.uvarint(uint64(o - prev - 1))
+		prev = o
+	}
+}

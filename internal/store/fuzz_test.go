@@ -1,0 +1,61 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// FuzzParseSnapshot feeds arbitrary (and mutated-valid) bytes to the
+// snapshot decoder: it must never panic, and whatever it accepts must
+// have internally consistent structure.
+func FuzzParseSnapshot(f *testing.F) {
+	// Seed with a couple of valid snapshots and trivial corruptions.
+	for _, xml := range []string{
+		`<a/>`,
+		`<a><b>x</b><b>y</b></a>`,
+		`<site><item id="1"><name>gold</name></item></site>`,
+	} {
+		doc, err := xmltree.ParseString(xml)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, doc); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 8 {
+			mutated := append([]byte{}, buf.Bytes()...)
+			mutated[buf.Len()/2] ^= 0xFF
+			f.Add(mutated)
+			f.Add(mutated[:buf.Len()-3])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("WPX1"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		doc := r.Document()
+		for i, n := range doc.Nodes {
+			if n.Ord != i {
+				t.Fatalf("ordinal mismatch at %d", i)
+			}
+			if n.Parent != nil && !n.Parent.ID.IsParentOf(n.ID) {
+				t.Fatalf("Dewey inconsistency at %d", i)
+			}
+		}
+		// Probing any stored tag must not panic, even on corrupt
+		// postings (they surface as empty lists; Verify reports them).
+		for _, tag := range r.tags {
+			_ = r.Nodes(tag)
+			_ = r.CountTag(tag)
+		}
+		_ = r.Verify()
+	})
+}

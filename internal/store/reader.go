@@ -1,0 +1,374 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Reader serves a snapshot as an index.Source. Node structure is
+// materialized at open; postings lists stay encoded until a query first
+// probes them (decoded lists are cached).
+type Reader struct {
+	doc  *xmltree.Document
+	tags []string
+
+	mu       sync.Mutex
+	tagPost  map[string]span // encoded per-tag postings
+	valPost  map[string]span // encoded per-(tag,value) postings
+	tagCache *lruCache
+	valCache *lruCache
+	raw      []byte
+}
+
+// SetCacheLimit bounds the decoded-postings caches to at most limit
+// entries each, evicting least-recently-used lists (they re-decode on
+// the next probe). Limit 0 restores the unbounded default.
+func (r *Reader) SetCacheLimit(limit int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tagCache.setLimit(limit)
+	r.valCache.setLimit(limit)
+}
+
+// CachedLists reports how many decoded postings lists are currently
+// held (tag lists + value lists).
+func (r *Reader) CachedLists() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tagCache.len() + r.valCache.len()
+}
+
+// span locates an encoded ordinal list within the snapshot.
+type span struct {
+	start, end, count int
+}
+
+var _ index.Source = (*Reader)(nil)
+
+// Open loads the snapshot at path.
+func Open(path string) (*Reader, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Parse decodes a snapshot held in memory. The Reader retains raw.
+func Parse(raw []byte) (*Reader, error) {
+	if len(raw) < 4 || raw[0] != magic[0] || raw[1] != magic[1] || raw[2] != magic[2] || raw[3] != magic[3] {
+		return nil, fmt.Errorf("store: bad magic (not a snapshot, or unsupported version)")
+	}
+	d := &dec{buf: raw, pos: 4}
+	nodeCnt, err := d.int()
+	if err != nil {
+		return nil, err
+	}
+	tagCnt, err := d.int()
+	if err != nil {
+		return nil, err
+	}
+	// Sanity-bound the declared counts by the input size before
+	// allocating: every node record needs ≥ 3 bytes and every tag ≥ 1,
+	// so a forged header cannot trigger a huge allocation.
+	if nodeCnt > len(raw)/3+1 {
+		return nil, fmt.Errorf("store: node count %d exceeds input size", nodeCnt)
+	}
+	if tagCnt > len(raw) {
+		return nil, fmt.Errorf("store: tag count %d exceeds input size", tagCnt)
+	}
+	tags := make([]string, tagCnt)
+	for i := range tags {
+		if tags[i], err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+
+	doc := xmltree.NewDocument()
+	nodes := make([]*xmltree.Node, nodeCnt)
+	for ord := 0; ord < nodeCnt; ord++ {
+		tagID, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		if tagID >= tagCnt {
+			return nil, fmt.Errorf("store: node %d references tag %d of %d", ord, tagID, tagCnt)
+		}
+		parentRef, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		value, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		n := &xmltree.Node{Tag: tags[tagID], Value: value, Ord: ord}
+		if parentRef == 0 {
+			n.ID = (dewey.ID{}).Child(len(doc.Roots))
+			doc.Roots = append(doc.Roots, n)
+		} else {
+			p := parentRef - 1
+			if p >= ord {
+				return nil, fmt.Errorf("store: node %d has forward parent %d", ord, p)
+			}
+			parent := nodes[p]
+			n.Parent = parent
+			n.ID = parent.ID.Child(len(parent.Children))
+			parent.Children = append(parent.Children, n)
+		}
+		nodes[ord] = n
+		doc.Nodes = append(doc.Nodes, n)
+	}
+
+	r := &Reader{
+		doc:      doc,
+		tags:     tags,
+		tagPost:  make(map[string]span),
+		valPost:  make(map[string]span),
+		tagCache: newLRUCache(0),
+		valCache: newLRUCache(0),
+		raw:      raw,
+	}
+
+	postCnt, err := d.int()
+	if err != nil {
+		return nil, err
+	}
+	if postCnt > len(raw) {
+		return nil, fmt.Errorf("store: postings count %d exceeds input size", postCnt)
+	}
+	for i := 0; i < postCnt; i++ {
+		tagID, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		if tagID >= tagCnt {
+			return nil, fmt.Errorf("store: postings reference tag %d of %d", tagID, tagCnt)
+		}
+		start, end, count, err := d.skipOrds()
+		if err != nil {
+			return nil, err
+		}
+		r.tagPost[tags[tagID]] = span{start, end, count}
+	}
+	valCnt, err := d.int()
+	if err != nil {
+		return nil, err
+	}
+	if valCnt > len(raw) {
+		return nil, fmt.Errorf("store: value postings count %d exceeds input size", valCnt)
+	}
+	for i := 0; i < valCnt; i++ {
+		tagID, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		if tagID >= tagCnt {
+			return nil, fmt.Errorf("store: value postings reference tag %d of %d", tagID, tagCnt)
+		}
+		value, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		start, end, count, err := d.skipOrds()
+		if err != nil {
+			return nil, err
+		}
+		r.valPost[valueKey(tags[tagID], value)] = span{start, end, count}
+	}
+	if d.pos != len(raw) {
+		return nil, fmt.Errorf("store: %d trailing bytes", len(raw)-d.pos)
+	}
+	return r, nil
+}
+
+func valueKey(tag, value string) string { return tag + "\x00" + value }
+
+// Document returns the reconstructed document.
+func (r *Reader) Document() *xmltree.Document { return r.doc }
+
+// decode materializes one postings list.
+func (r *Reader) decode(sp span) ([]*xmltree.Node, error) {
+	ords, err := decodeOrds(r.raw[sp.start:sp.end], sp.count)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*xmltree.Node, len(ords))
+	for i, o := range ords {
+		if o >= len(r.doc.Nodes) {
+			return nil, fmt.Errorf("store: posting ordinal %d out of range", o)
+		}
+		out[i] = r.doc.Nodes[o]
+	}
+	return out, nil
+}
+
+// Nodes implements index.Source. Corrupt postings surface as an empty
+// list; Verify reports them eagerly.
+func (r *Reader) Nodes(tag string) []*xmltree.Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cached, ok := r.tagCache.get(tag); ok {
+		return cached
+	}
+	sp, ok := r.tagPost[tag]
+	if !ok {
+		r.tagCache.put(tag, nil)
+		return nil
+	}
+	nodes, err := r.decode(sp)
+	if err != nil {
+		nodes = nil
+	}
+	r.tagCache.put(tag, nodes)
+	return nodes
+}
+
+// NodesValued returns nodes with the tag and exactly the given text
+// value (any value when empty).
+func (r *Reader) NodesValued(tag, value string) []*xmltree.Node {
+	if value == "" {
+		return r.Nodes(tag)
+	}
+	key := valueKey(tag, value)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cached, ok := r.valCache.get(key); ok {
+		return cached
+	}
+	sp, ok := r.valPost[key]
+	if !ok {
+		r.valCache.put(key, nil)
+		return nil
+	}
+	nodes, err := r.decode(sp)
+	if err != nil {
+		nodes = nil
+	}
+	r.valCache.put(key, nodes)
+	return nodes
+}
+
+// NodesMatching implements index.Source: equality and match-any tests
+// hit the stored postings; other operators filter the tag postings, with
+// the result cached.
+func (r *Reader) NodesMatching(tag string, vt index.ValueTest) []*xmltree.Node {
+	switch {
+	case vt.Any():
+		return r.Nodes(tag)
+	case vt.IsEquality():
+		return r.NodesValued(tag, vt.Value)
+	}
+	key := tag + "\x01" + vt.Op + "\x01" + vt.Value
+	r.mu.Lock()
+	if cached, ok := r.valCache.get(key); ok {
+		r.mu.Unlock()
+		return cached
+	}
+	r.mu.Unlock()
+	var out []*xmltree.Node
+	for _, n := range r.Nodes(tag) {
+		if vt.Matches(n.Value) {
+			out = append(out, n)
+		}
+	}
+	r.mu.Lock()
+	r.valCache.put(key, out)
+	r.mu.Unlock()
+	return out
+}
+
+// CountTag implements index.Source without decoding the list.
+func (r *Reader) CountTag(tag string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tagPost[tag].count
+}
+
+// Candidates implements index.Source with the same semantics as the
+// in-memory index.
+func (r *Reader) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	switch axis {
+	case dewey.Self:
+		if anchor.Tag == tag && vt.Matches(anchor.Value) {
+			return []*xmltree.Node{anchor}
+		}
+		return nil
+	case dewey.Child:
+		var out []*xmltree.Node
+		for _, c := range anchor.Children {
+			if c.Tag == tag && vt.Matches(c.Value) {
+				out = append(out, c)
+			}
+		}
+		return out
+	case dewey.Descendant:
+		postings := r.NodesMatching(tag, vt)
+		lo := sort.Search(len(postings), func(i int) bool {
+			return postings[i].ID.Compare(anchor.ID) > 0
+		})
+		var out []*xmltree.Node
+		for i := lo; i < len(postings); i++ {
+			if !anchor.ID.IsAncestorOf(postings[i].ID) {
+				break
+			}
+			out = append(out, postings[i])
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// TF implements index.Source.
+func (r *Reader) TF(n *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) int {
+	return len(r.Candidates(n, axis, tag, vt))
+}
+
+// Predicate implements index.Source.
+func (r *Reader) Predicate(rootTag string, axis dewey.Axis, tag string, vt index.ValueTest) index.PredicateStats {
+	roots := r.Nodes(rootTag)
+	st := index.PredicateStats{RootCount: len(roots)}
+	for _, root := range roots {
+		tf := len(r.Candidates(root, axis, tag, vt))
+		if tf > 0 {
+			st.Satisfying++
+			st.TotalPairs += tf
+			if tf > st.MaxTF {
+				st.MaxTF = tf
+			}
+		}
+	}
+	return st
+}
+
+// Verify eagerly decodes every postings list, returning the first
+// corruption found. Use it after Open when failing fast is preferable to
+// empty probe results.
+func (r *Reader) Verify() error {
+	r.mu.Lock()
+	spans := make([]span, 0, len(r.tagPost)+len(r.valPost))
+	for _, sp := range r.tagPost {
+		spans = append(spans, sp)
+	}
+	for _, sp := range r.valPost {
+		spans = append(spans, sp)
+	}
+	r.mu.Unlock()
+	for _, sp := range spans {
+		if _, err := r.decode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

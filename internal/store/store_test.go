@@ -1,0 +1,253 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+func genDoc(t testing.TB, items int) *xmltree.Document {
+	t.Helper()
+	doc, err := xmark.Generate(xmark.Options{Seed: 5, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func roundTrip(t testing.TB, doc *xmltree.Document) *Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoundTripStructure(t *testing.T) {
+	doc := genDoc(t, 30)
+	r := roundTrip(t, doc)
+	got := r.Document()
+	if got.Size() != doc.Size() {
+		t.Fatalf("size %d != %d", got.Size(), doc.Size())
+	}
+	for i := range doc.Nodes {
+		a, b := doc.Nodes[i], got.Nodes[i]
+		if a.Tag != b.Tag || a.Value != b.Value || !a.ID.Equal(b.ID) || a.Ord != b.Ord {
+			t.Fatalf("node %d: %v vs %v", i, a, b)
+		}
+		if (a.Parent == nil) != (b.Parent == nil) {
+			t.Fatalf("node %d parent mismatch", i)
+		}
+		if a.Parent != nil && a.Parent.Ord != b.Parent.Ord {
+			t.Fatalf("node %d parent ord %d vs %d", i, a.Parent.Ord, b.Parent.Ord)
+		}
+		if len(a.Children) != len(b.Children) {
+			t.Fatalf("node %d children %d vs %d", i, len(a.Children), len(b.Children))
+		}
+	}
+}
+
+func TestReaderMatchesIndex(t *testing.T) {
+	doc := genDoc(t, 40)
+	ix := index.Build(doc)
+	r := roundTrip(t, doc)
+	tags := []string{"item", "description", "parlist", "text", "mail", "name", "absent"}
+	for _, tag := range tags {
+		if ix.CountTag(tag) != r.CountTag(tag) {
+			t.Fatalf("CountTag(%s): %d vs %d", tag, ix.CountTag(tag), r.CountTag(tag))
+		}
+		a, b := ix.Nodes(tag), r.Nodes(tag)
+		if len(a) != len(b) {
+			t.Fatalf("Nodes(%s): %d vs %d", tag, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Ord != b[i].Ord {
+				t.Fatalf("Nodes(%s)[%d]: ord %d vs %d", tag, i, a[i].Ord, b[i].Ord)
+			}
+		}
+	}
+	// Probe equivalence on every item anchor.
+	for _, anchorIx := range ix.Nodes("item") {
+		anchorR := r.Document().Nodes[anchorIx.Ord]
+		for _, tag := range []string{"parlist", "text", "incategory"} {
+			for _, ax := range []dewey.Axis{dewey.Child, dewey.Descendant} {
+				a := ix.Candidates(anchorIx, ax, tag, index.ValueEq(""))
+				b := r.Candidates(anchorR, ax, tag, index.ValueEq(""))
+				if len(a) != len(b) {
+					t.Fatalf("Candidates(%v,%v,%s): %d vs %d", anchorIx, ax, tag, len(a), len(b))
+				}
+			}
+		}
+	}
+	// Predicate stats equivalence.
+	for _, tag := range []string{"parlist", "incategory"} {
+		a := ix.Predicate("item", dewey.Descendant, tag, index.ValueEq(""))
+		b := r.Predicate("item", dewey.Descendant, tag, index.ValueEq(""))
+		if a != b {
+			t.Fatalf("Predicate(%s): %+v vs %+v", tag, a, b)
+		}
+	}
+}
+
+func TestValuePostings(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><a>x</a><a>y</a><a>x</a><b>x</b></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := roundTrip(t, doc)
+	if got := len(r.NodesValued("a", "x")); got != 2 {
+		t.Fatalf("a=x postings = %d", got)
+	}
+	if got := len(r.NodesValued("a", "z")); got != 0 {
+		t.Fatalf("a=z postings = %d", got)
+	}
+	if got := len(r.NodesValued("a", "")); got != 3 {
+		t.Fatalf("a postings = %d", got)
+	}
+	// Cached second call returns identical slice.
+	p1 := r.NodesValued("a", "x")
+	p2 := r.NodesValued("a", "x")
+	if &p1[0] != &p2[0] {
+		t.Fatal("postings not cached")
+	}
+}
+
+func TestSaveOpen(t *testing.T) {
+	doc := genDoc(t, 10)
+	path := filepath.Join(t.TempDir(), "snap.wpx")
+	if err := Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Document().Size() != doc.Size() {
+		t.Fatal("size mismatch after save/open")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.wpx")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	doc := genDoc(t, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := Parse([]byte("nope")); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	if _, err := Parse(raw[:len(raw)/2]); err == nil {
+		t.Fatal("truncated snapshot should error")
+	}
+	trailing := append(append([]byte{}, raw...), 0xFF)
+	if _, err := Parse(trailing); err == nil {
+		t.Fatal("trailing bytes should error")
+	}
+	if _, err := Parse(nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	doc := xmltree.NewDocument()
+	r := roundTrip(t, doc)
+	if r.Document().Size() != 0 {
+		t.Fatal("empty document round trip broken")
+	}
+	if r.Nodes("anything") != nil {
+		t.Fatal("postings of empty doc")
+	}
+}
+
+func TestForestRoundTrip(t *testing.T) {
+	doc, err := xmltree.ParseString(`<a><b/></a><a><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := roundTrip(t, doc)
+	if len(r.Document().Roots) != 2 {
+		t.Fatalf("roots = %d", len(r.Document().Roots))
+	}
+}
+
+func TestSnapshotSmallerThanXML(t *testing.T) {
+	doc := genDoc(t, 200)
+	var snap bytes.Buffer
+	if err := Write(&snap, doc); err != nil {
+		t.Fatal(err)
+	}
+	xmlSize := doc.SerializedSize()
+	if snap.Len() >= xmlSize {
+		t.Fatalf("snapshot (%d) should be smaller than XML (%d)", snap.Len(), xmlSize)
+	}
+}
+
+func TestCacheLimitEvicts(t *testing.T) {
+	doc := genDoc(t, 30)
+	r := roundTrip(t, doc)
+	r.SetCacheLimit(2)
+	tags := []string{"item", "name", "description", "parlist", "mailbox", "mail"}
+	for _, tag := range tags {
+		_ = r.Nodes(tag)
+	}
+	if got := r.CachedLists(); got > 2 {
+		t.Fatalf("cached lists = %d, want ≤ 2", got)
+	}
+	// Evicted lists re-decode correctly.
+	ix := index.Build(doc)
+	for _, tag := range tags {
+		if len(r.Nodes(tag)) != ix.CountTag(tag) {
+			t.Fatalf("tag %s mis-decoded after eviction", tag)
+		}
+	}
+	// Raising the limit back to unbounded keeps everything.
+	r.SetCacheLimit(0)
+	for _, tag := range tags {
+		_ = r.Nodes(tag)
+	}
+	if got := r.CachedLists(); got < len(tags) {
+		t.Fatalf("unbounded cache holds %d lists, want ≥ %d", got, len(tags))
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", nil)
+	c.put("b", nil)
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", nil) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should survive")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	// Overwriting an existing key must not grow the cache.
+	c.put("a", nil)
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Write serializes doc (with its access paths) to w in snapshot format.
+func Write(w io.Writer, doc *xmltree.Document) error {
+	e := &enc{buf: make([]byte, 0, 1<<16)}
+	e.buf = append(e.buf, magic[:]...)
+	e.uvarint(uint64(doc.Size()))
+
+	// Tag table in first-appearance order.
+	tagID := make(map[string]int)
+	var tags []string
+	for _, n := range doc.Nodes {
+		if _, ok := tagID[n.Tag]; !ok {
+			tagID[n.Tag] = len(tags)
+			tags = append(tags, n.Tag)
+		}
+	}
+	e.uvarint(uint64(len(tags)))
+	for _, t := range tags {
+		e.str(t)
+	}
+
+	// Node records in preorder.
+	for _, n := range doc.Nodes {
+		e.uvarint(uint64(tagID[n.Tag]))
+		if n.Parent == nil {
+			e.uvarint(0)
+		} else {
+			e.uvarint(uint64(n.Parent.Ord + 1))
+		}
+		e.str(n.Value)
+	}
+
+	// Per-tag postings.
+	byTag := make(map[string][]int)
+	type valKey struct{ tag, value string }
+	byVal := make(map[valKey][]int)
+	for _, n := range doc.Nodes {
+		byTag[n.Tag] = append(byTag[n.Tag], n.Ord)
+		if n.Value != "" {
+			k := valKey{n.Tag, n.Value}
+			byVal[k] = append(byVal[k], n.Ord)
+		}
+	}
+	e.uvarint(uint64(len(byTag)))
+	for _, t := range tags { // deterministic order
+		if ords, ok := byTag[t]; ok {
+			e.uvarint(uint64(tagID[t]))
+			e.encodeOrds(ords)
+		}
+	}
+	valKeys := make([]valKey, 0, len(byVal))
+	for k := range byVal {
+		valKeys = append(valKeys, k)
+	}
+	sort.Slice(valKeys, func(i, j int) bool {
+		if valKeys[i].tag != valKeys[j].tag {
+			return valKeys[i].tag < valKeys[j].tag
+		}
+		return valKeys[i].value < valKeys[j].value
+	})
+	e.uvarint(uint64(len(valKeys)))
+	for _, k := range valKeys {
+		e.uvarint(uint64(tagID[k.tag]))
+		e.str(k.value)
+		e.encodeOrds(byVal[k])
+	}
+
+	_, err := w.Write(e.buf)
+	return err
+}
+
+// Save writes the snapshot to a file, replacing any existing file
+// atomically (write to a temp file in the same directory, then rename).
+func Save(path string, doc *xmltree.Document) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".wpx-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := Write(bw, doc); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,361 @@
+// Package twig implements holistic twig matching in the PathStack /
+// TwigJoin family (Bruno, Koudas, Srivastava: "Holistic Twig Joins",
+// SIGMOD 2002) — the index-retrieval + structural-join evaluation style
+// the paper adopts for exact answers (Section 3). The tree pattern is
+// decomposed into root-to-leaf paths; each path's solutions are computed
+// with the linear-time PathStack algorithm over document-ordered
+// postings; path solutions are then merge-joined on their shared prefix
+// nodes into full twig matches.
+//
+// Parent-child edges are evaluated by generalizing to
+// ancestor-descendant during the stack phase and post-filtering path
+// solutions by exact level differences, as in the original paper.
+// Following-sibling edges are handled in the final merge.
+//
+// The package is the third independent exact-matching implementation in
+// this repository (after the Whirlpool engine's exact mode and
+// internal/joins' binary join plans); the tests cross-check all three.
+package twig
+
+import (
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/xmltree"
+)
+
+// Match is one exact twig match: Bindings[i] instantiates query node i.
+type Match struct {
+	Bindings []*xmltree.Node
+}
+
+// Stats reports the work performed.
+type Stats struct {
+	// PathSolutions is the total number of root-to-leaf path solutions
+	// produced by the PathStack phase.
+	PathSolutions int
+	// Pushes counts stack pushes across all paths.
+	Pushes int
+}
+
+// Matches computes every exact match of q over ix.
+func Matches(ix index.Source, q *pattern.Query) ([]Match, Stats) {
+	var st Stats
+	prepped := reparentSiblings(q)
+	paths := rootToLeafPaths(prepped)
+	// Solutions per path: each is a map from query node ID to binding.
+	pathSols := make([][][]*xmltree.Node, len(paths))
+	for pi, path := range paths {
+		sols := pathStack(ix, prepped, path, &st)
+		st.PathSolutions += len(sols)
+		pathSols[pi] = sols
+	}
+	merged := mergePaths(prepped, paths, pathSols)
+	out := filterSiblingOrder(q, merged)
+	return out, st
+}
+
+// reparentSiblings rewrites each following-sibling node as a pc child of
+// its anchor's parent — the level-correct containment relation the stack
+// phase requires; the sibling-order constraint itself is enforced by
+// filterSiblingOrder against the original pattern.
+func reparentSiblings(q *pattern.Query) *pattern.Query {
+	needs := false
+	for _, n := range q.Nodes {
+		if n.Axis == dewey.FollowingSibling {
+			needs = true
+		}
+	}
+	if !needs {
+		return q
+	}
+	c := q.Clone()
+	for _, n := range c.Nodes {
+		if n.Axis != dewey.FollowingSibling {
+			continue
+		}
+		oldParent := n.Parent
+		grand := c.Nodes[oldParent].Parent
+		kids := c.Nodes[oldParent].Children[:0]
+		for _, k := range c.Nodes[oldParent].Children {
+			if k != n.ID {
+				kids = append(kids, k)
+			}
+		}
+		c.Nodes[oldParent].Children = kids
+		n.Parent = grand
+		n.Axis = dewey.Child
+		c.Nodes[grand].Children = append(c.Nodes[grand].Children, n.ID)
+		sort.Ints(c.Nodes[grand].Children)
+	}
+	return c
+}
+
+// rootToLeafPaths decomposes the pattern into its root-to-leaf node-ID
+// paths, in leaf declaration order.
+func rootToLeafPaths(q *pattern.Query) [][]int {
+	var paths [][]int
+	var walk func(id int, acc []int)
+	walk = func(id int, acc []int) {
+		acc = append(acc, id)
+		if len(q.Nodes[id].Children) == 0 {
+			paths = append(paths, append([]int(nil), acc...))
+			return
+		}
+		for _, c := range q.Nodes[id].Children {
+			walk(c, acc)
+		}
+	}
+	walk(0, nil)
+	return paths
+}
+
+// pathStack computes the exact solutions of one root-to-leaf path. Each
+// solution is a full-width binding slice with only the path's nodes set.
+func pathStack(ix index.Source, q *pattern.Query, path []int, st *Stats) [][]*xmltree.Node {
+	m := len(path)
+	streams := make([][]*xmltree.Node, m)
+	for i, id := range path {
+		n := q.Nodes[id]
+		if i == 0 {
+			streams[i] = rootStream(ix, q)
+		} else {
+			streams[i] = ix.NodesMatching(n.Tag, index.Test(n.ValueOp, n.Value))
+		}
+		if len(streams[i]) == 0 {
+			return nil
+		}
+	}
+	type entry struct {
+		node      *xmltree.Node
+		parentTop int // index of the parent stack's top at push time
+	}
+	stacks := make([][]entry, m)
+	pos := make([]int, m)
+
+	var solutions [][]*xmltree.Node
+
+	// emit enumerates the chains ending at the leaf entry just pushed.
+	var emit func(level, maxIdx int, acc []*xmltree.Node)
+	emit = func(level, maxIdx int, acc []*xmltree.Node) {
+		if level < 0 {
+			row := make([]*xmltree.Node, q.Size())
+			for i, id := range path {
+				row[id] = acc[i]
+			}
+			solutions = append(solutions, row)
+			return
+		}
+		for j := 0; j <= maxIdx; j++ {
+			e := stacks[level][j]
+			acc[level] = e.node
+			if level == 0 {
+				emit(-1, 0, acc)
+			} else {
+				emit(level-1, e.parentTop, acc)
+			}
+		}
+	}
+
+	for {
+		// qmin: the non-exhausted stream whose head starts first. Ties
+		// (the same node appearing in several same-tag streams) go to
+		// the deeper path level, so a node is considered as a descendant
+		// binding before it lands on any ancestor stack — a node must
+		// never chain to itself.
+		qmin := -1
+		for i := range path {
+			if pos[i] >= len(streams[i]) {
+				continue
+			}
+			if qmin == -1 || streams[i][pos[i]].ID.Compare(streams[qmin][pos[qmin]].ID) <= 0 {
+				qmin = i
+			}
+		}
+		if qmin == -1 {
+			break
+		}
+		head := streams[qmin][pos[qmin]]
+		// Pop entries (on every stack) whose subtrees ended before head;
+		// an entry equal to head stays — its subtree still encloses
+		// head's (same-tag streams share nodes across levels).
+		for i := range path {
+			for len(stacks[i]) > 0 {
+				top := stacks[i][len(stacks[i])-1].node
+				if top.ID.IsAncestorOf(head.ID) || top.ID.Equal(head.ID) {
+					break
+				}
+				stacks[i] = stacks[i][:len(stacks[i])-1]
+			}
+		}
+		if qmin == 0 || len(stacks[qmin-1]) > 0 {
+			st.Pushes++
+			parentTop := -1
+			if qmin > 0 {
+				parentTop = len(stacks[qmin-1]) - 1
+			}
+			stacks[qmin] = append(stacks[qmin], entry{node: head, parentTop: parentTop})
+			if qmin == m-1 {
+				acc := make([]*xmltree.Node, m)
+				top := stacks[qmin][len(stacks[qmin])-1]
+				acc[qmin] = top.node
+				if qmin == 0 {
+					emit(-1, 0, acc)
+				} else {
+					emit(qmin-1, top.parentTop, acc)
+				}
+				// The leaf entry itself never anchors deeper pushes.
+				stacks[qmin] = stacks[qmin][:len(stacks[qmin])-1]
+			}
+		}
+		pos[qmin]++
+	}
+
+	// Post-filter parent-child (and root-level) exactness.
+	exact := solutions[:0]
+	for _, row := range solutions {
+		if pathLevelsOK(q, path, row) {
+			exact = append(exact, row)
+		}
+	}
+	return exact
+}
+
+// rootStream returns the candidate bindings of the query root under its
+// document-root axis.
+func rootStream(ix index.Source, q *pattern.Query) []*xmltree.Node {
+	root := q.Root()
+	all := ix.NodesMatching(root.Tag, index.Test(root.ValueOp, root.Value))
+	if root.Axis != dewey.Child {
+		return all
+	}
+	var out []*xmltree.Node
+	for _, n := range all {
+		if n.Level() == 1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// pathLevelsOK enforces pc-edge exactness (level difference one) along
+// the path; fs edges are validated in the final merge.
+func pathLevelsOK(q *pattern.Query, path []int, row []*xmltree.Node) bool {
+	for i := 1; i < len(path); i++ {
+		n := q.Nodes[path[i]]
+		if n.Axis != dewey.Child {
+			continue
+		}
+		parent := row[path[i-1]]
+		child := row[path[i]]
+		if !parent.ID.IsParentOf(child.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergePaths hash-joins the per-path solution sets on their shared query
+// nodes, accumulating full twig matches.
+func mergePaths(q *pattern.Query, paths [][]int, pathSols [][][]*xmltree.Node) []Match {
+	if len(paths) == 0 {
+		return nil
+	}
+	acc := pathSols[0]
+	bound := make(map[int]bool)
+	for _, id := range paths[0] {
+		bound[id] = true
+	}
+	for pi := 1; pi < len(paths); pi++ {
+		var shared []int
+		for _, id := range paths[pi] {
+			if bound[id] {
+				shared = append(shared, id)
+			}
+		}
+		// Hash the new path's solutions by their shared-node bindings.
+		buckets := make(map[string][][]*xmltree.Node)
+		for _, sol := range pathSols[pi] {
+			buckets[bindKey(sol, shared)] = append(buckets[bindKey(sol, shared)], sol)
+		}
+		var next [][]*xmltree.Node
+		for _, row := range acc {
+			for _, sol := range buckets[bindKey(row, shared)] {
+				nr := make([]*xmltree.Node, len(row))
+				copy(nr, row)
+				for _, id := range paths[pi] {
+					nr[id] = sol[id]
+				}
+				next = append(next, nr)
+			}
+		}
+		acc = next
+		for _, id := range paths[pi] {
+			bound[id] = true
+		}
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	out := make([]Match, len(acc))
+	for i, row := range acc {
+		out[i] = Match{Bindings: row}
+	}
+	sortMatches(out)
+	return out
+}
+
+func bindKey(row []*xmltree.Node, shared []int) string {
+	key := make([]byte, 0, len(shared)*4)
+	for _, id := range shared {
+		ord := row[id].Ord
+		key = append(key, byte(ord), byte(ord>>8), byte(ord>>16), byte(ord>>24))
+	}
+	return string(key)
+}
+
+// filterSiblingOrder drops matches violating following-sibling edges.
+func filterSiblingOrder(q *pattern.Query, ms []Match) []Match {
+	hasFS := false
+	for _, n := range q.Nodes {
+		if n.Axis == dewey.FollowingSibling {
+			hasFS = true
+		}
+	}
+	if !hasFS {
+		return ms
+	}
+	out := ms[:0]
+	for _, m := range ms {
+		ok := true
+		for _, n := range q.Nodes {
+			if n.Axis != dewey.FollowingSibling {
+				continue
+			}
+			anchor := m.Bindings[n.Parent]
+			self := m.Bindings[n.ID]
+			if !self.ID.IsFollowingSiblingOf(anchor.ID) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i].Bindings, ms[j].Bindings
+		for x := range a {
+			if a[x].Ord != b[x].Ord {
+				return a[x].Ord < b[x].Ord
+			}
+		}
+		return false
+	})
+}

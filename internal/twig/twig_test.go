@@ -1,0 +1,157 @@
+package twig
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/joins"
+	"repro/internal/pattern"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+func key(b []*xmltree.Node) string {
+	out := make([]byte, 0, len(b)*4)
+	for _, n := range b {
+		out = append(out, byte(n.Ord), byte(n.Ord>>8), byte(n.Ord>>16), byte(n.Ord>>24))
+	}
+	return string(out)
+}
+
+// assertSameMatches compares twig output with the binary-join baseline
+// as sets of full binding tuples.
+func assertSameMatches(t *testing.T, label string, ix index.Source, q *pattern.Query) {
+	t.Helper()
+	got, _ := Matches(ix, q)
+	want, _ := joins.ExactMatches(ix, q)
+	if len(got) != len(want) {
+		t.Fatalf("%s: twig %d matches, joins %d", label, len(got), len(want))
+	}
+	seen := make(map[string]int)
+	for _, m := range want {
+		seen[key(m.Bindings)]++
+	}
+	for _, m := range got {
+		if seen[key(m.Bindings)] == 0 {
+			t.Fatalf("%s: twig produced tuple joins did not: %v", label, m.Bindings)
+		}
+		seen[key(m.Bindings)]--
+	}
+}
+
+func TestPathOnlyQuery(t *testing.T) {
+	doc, err := xmltree.ParseString(`
+<a><b><c/></b><b><d><c/></d></b></a>
+<a><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(doc)
+	for _, xp := range []string{"/a[./b/c]", "/a[.//c]", "//b[.//c]", "/a[./b//c]"} {
+		assertSameMatches(t, xp, ix, pattern.MustParse(xp))
+	}
+}
+
+func TestTwigQueries(t *testing.T) {
+	doc, err := xmark.Generate(xmark.Options{Seed: 2, Items: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(doc)
+	for _, xp := range []string{
+		"//item[./description/parlist]",
+		"//item[./description/parlist and ./mailbox/mail/text]",
+		"//item[./mailbox/mail/text[./bold and ./keyword] and ./name and ./incategory]",
+		"//item[./quantity < 3 and ./name]",
+	} {
+		assertSameMatches(t, xp, ix, pattern.MustParse(xp))
+	}
+}
+
+func TestFollowingSibling(t *testing.T) {
+	doc, err := xmltree.ParseString(`
+<a><x/><c>1</c><e>2</e></a>
+<a><e>2</e><c>1</c></a>
+<a><c>1</c><c>1</c><e>2</e></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(doc)
+	q := pattern.MustParse("/a[./c[following-sibling::e]]")
+	assertSameMatches(t, "fs", ix, q)
+	got, _ := Matches(ix, q)
+	if len(got) != 3 { // a1: (c,e); a3: (c1,e), (c2,e)
+		t.Fatalf("fs matches = %d, want 3", len(got))
+	}
+}
+
+func TestRecursiveTags(t *testing.T) {
+	// Same-tag nesting exercises the stack chains.
+	doc, err := xmltree.ParseString(`
+<a><a><b/><a><b/></a></a></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(doc)
+	for _, xp := range []string{"//a[.//b]", "//a[./a//b]", "//a[.//a and .//b]"} {
+		assertSameMatches(t, xp, ix, pattern.MustParse(xp))
+	}
+}
+
+func TestRandomizedAgainstJoins(t *testing.T) {
+	tags := []string{"a", "b", "c"}
+	for trial := 0; trial < 40; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		b := xmltree.NewBuilder()
+		for roots := 0; roots <= r.Intn(2); roots++ {
+			b.Root("a")
+			var grow func(depth int)
+			grow = func(depth int) {
+				if depth > 4 {
+					return
+				}
+				for i, n := 0, r.Intn(3); i < n; i++ {
+					b.Open(tags[r.Intn(len(tags))])
+					grow(depth + 1)
+					b.Close()
+				}
+			}
+			grow(1)
+		}
+		doc := b.Doc()
+		ix := index.Build(doc)
+		// Random query over the same alphabet.
+		axes := []dewey.Axis{dewey.Child, dewey.Descendant}
+		q := pattern.New("a", axes[r.Intn(2)])
+		for i, n := 0, 1+r.Intn(4); i < n; i++ {
+			q.Add(r.Intn(q.Size()), tags[r.Intn(len(tags))], axes[r.Intn(2)])
+		}
+		assertSameMatches(t, q.String(), ix, q)
+	}
+}
+
+func TestStatsReported(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><b><c/></b></a>`)
+	ix := index.Build(doc)
+	_, st := Matches(ix, pattern.MustParse("/a[./b/c]"))
+	if st.Pushes == 0 || st.PathSolutions == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEmptyStreamShortCircuit(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><b/></a>`)
+	ix := index.Build(doc)
+	got, _ := Matches(ix, pattern.MustParse("/a[./zz]"))
+	if len(got) != 0 {
+		t.Fatalf("matches = %d", len(got))
+	}
+}
+
+func TestRootFSRejectedByValidate(t *testing.T) {
+	if _, err := pattern.Parse("/a[following-sibling::b]"); err == nil {
+		t.Fatal("following-sibling on the returned node must be rejected")
+	}
+}

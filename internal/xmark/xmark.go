@@ -1,0 +1,308 @@
+// Package xmark generates deterministic XMark-equivalent auction-site
+// documents. The paper evaluates on documents produced by the XMark
+// benchmark generator (Section 6.2.1); this package synthesizes documents
+// with the same structural features its queries Q1–Q3 and relaxations
+// exercise:
+//
+//   - recursive nodes (parlist inside description) enable edge
+//     generalization: ./description/parlist vs .//parlist,
+//   - optional nodes (incategory, mailbox contents) enable leaf deletion,
+//   - shared nodes (text under both mail and listitem) enable subtree
+//     promotion.
+//
+// Generation is seeded and fully deterministic; documents can be produced
+// as parsed trees (Generate) or streamed as serialized XML (Write), and
+// sized by item count or by target serialized bytes (GenerateBytes) to
+// match the paper's 1 MB / 10 MB / 50 MB configurations.
+package xmark
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// Options configures generation.
+type Options struct {
+	// Seed drives all randomness; equal seeds give identical documents.
+	Seed int64
+	// Items is the number of item elements to generate.
+	Items int
+}
+
+var (
+	regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	words   = []string{
+		"gold", "silver", "amber", "vintage", "rare", "antique", "brass",
+		"carved", "painted", "woven", "glass", "ivory", "oak", "walnut",
+		"ceramic", "bronze", "linen", "silk", "jade", "pearl", "crystal",
+		"ornate", "rustic", "gilded", "enamel", "lacquer", "marble", "onyx",
+	}
+	locations = []string{"United States", "Germany", "Japan", "France", "Brazil", "Kenya"}
+	payments  = []string{"Creditcard", "Cash", "Money order", "Personal check"}
+)
+
+// Write streams a generated document as XML to w. Beyond the items the
+// paper's queries touch, the document carries the XMark benchmark's
+// other sections in realistic proportions: categories, people (with
+// category interests), and open/closed auctions referencing items and
+// people by id.
+func Write(w io.Writer, opts Options) error {
+	g := &generator{r: rand.New(rand.NewSource(opts.Seed)), w: w}
+	categories := opts.Items/10 + 1
+	people := opts.Items/2 + 1
+	openAuctions := opts.Items / 4
+	closedAuctions := opts.Items / 8
+
+	g.emit("<site>")
+	g.emit("<categories>")
+	for i := 0; i < categories; i++ {
+		g.category(i)
+	}
+	g.emit("</categories>")
+	g.emit("<regions>")
+	perRegion := opts.Items / len(regions)
+	extra := opts.Items % len(regions)
+	id := 0
+	for ri, region := range regions {
+		n := perRegion
+		if ri < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		g.emit("<%s>", region)
+		for i := 0; i < n; i++ {
+			g.item(id)
+			id++
+		}
+		g.emit("</%s>", region)
+	}
+	g.emit("</regions>")
+	g.emit("<people>")
+	for i := 0; i < people; i++ {
+		g.person(i, categories)
+	}
+	g.emit("</people>")
+	g.emit("<open_auctions>")
+	for i := 0; i < openAuctions; i++ {
+		g.openAuction(i, opts.Items, people)
+	}
+	g.emit("</open_auctions>")
+	g.emit("<closed_auctions>")
+	for i := 0; i < closedAuctions; i++ {
+		g.closedAuction(i, opts.Items, people)
+	}
+	g.emit("</closed_auctions>")
+	g.emit("</site>")
+	return g.err
+}
+
+// category emits one category with a text description.
+func (g *generator) category(id int) {
+	g.emit(`<category id="c%d"><name>%s</name><description>`, id, g.phrase(2))
+	g.text()
+	g.emit("</description></category>")
+}
+
+// person emits one person with optional interests referencing categories.
+func (g *generator) person(id, categories int) {
+	g.emit(`<person id="p%d"><name>%s %s</name><emailaddress>mailto:%s@%s.example</emailaddress>`,
+		id, g.word(), g.word(), g.word(), g.word())
+	if g.r.Float64() < 0.6 {
+		g.emit("<profile><education>%s</education>", g.word())
+		for i, n := 0, g.r.Intn(3); i < n; i++ {
+			g.emit(`<interest category="c%d"/>`, g.r.Intn(categories))
+		}
+		g.emit("<business>%s</business></profile>", yesNo(g.r.Intn(2)))
+	}
+	g.emit("</person>")
+}
+
+// openAuction emits an auction over a random item with bidders.
+func (g *generator) openAuction(id, items, people int) {
+	g.emit(`<open_auction id="oa%d"><itemref item="item%d"/>`, id, g.r.Intn(maxInt(items, 1)))
+	for i, n := 0, g.r.Intn(4); i < n; i++ {
+		g.emit(`<bidder><personref person="p%d"/><increase>%d.%02d</increase></bidder>`,
+			g.r.Intn(people), 1+g.r.Intn(50), g.r.Intn(100))
+	}
+	g.emit("<current>%d.%02d</current><quantity>%d</quantity></open_auction>",
+		1+g.r.Intn(500), g.r.Intn(100), 1+g.r.Intn(3))
+}
+
+// closedAuction emits a completed sale referencing buyer, seller, item.
+func (g *generator) closedAuction(id, items, people int) {
+	g.emit(`<closed_auction><seller person="p%d"/><buyer person="p%d"/><itemref item="item%d"/>`,
+		g.r.Intn(people), g.r.Intn(people), g.r.Intn(maxInt(items, 1)))
+	g.emit("<price>%d.%02d</price><date>%02d/%02d/2004</date>",
+		1+g.r.Intn(1000), g.r.Intn(100), 1+g.r.Intn(12), 1+g.r.Intn(28))
+	g.emit("<annotation>")
+	g.text()
+	g.emit("</annotation></closed_auction>")
+}
+
+func yesNo(v int) string {
+	if v == 0 {
+		return "No"
+	}
+	return "Yes"
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Generate returns a generated document as a parsed tree.
+func Generate(opts Options) (*xmltree.Document, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, opts); err != nil {
+		return nil, err
+	}
+	return xmltree.Parse(&buf)
+}
+
+// ItemsForBytes calibrates how many items yield approximately
+// targetBytes of serialized XML for the given seed.
+func ItemsForBytes(seed int64, targetBytes int) (int, error) {
+	var probe, base bytes.Buffer
+	const probeItems = 64
+	if err := Write(&probe, Options{Seed: seed, Items: probeItems}); err != nil {
+		return 0, err
+	}
+	if err := Write(&base, Options{Seed: seed, Items: 0}); err != nil {
+		return 0, err
+	}
+	perItem := (probe.Len() - base.Len()) / probeItems
+	if perItem <= 0 {
+		perItem = 1
+	}
+	items := targetBytes / perItem
+	if items < 1 {
+		items = 1
+	}
+	return items, nil
+}
+
+// WriteBytes streams a document of approximately targetBytes to w and
+// returns the number of items generated.
+func WriteBytes(w io.Writer, seed int64, targetBytes int) (int, error) {
+	items, err := ItemsForBytes(seed, targetBytes)
+	if err != nil {
+		return 0, err
+	}
+	return items, Write(w, Options{Seed: seed, Items: items})
+}
+
+// GenerateBytes generates a document whose serialized size is
+// approximately targetBytes (within one item's worth), matching the
+// paper's document-size axis. It returns the document and the actual
+// byte size generated.
+func GenerateBytes(seed int64, targetBytes int) (*xmltree.Document, int, error) {
+	var buf bytes.Buffer
+	if _, err := WriteBytes(&buf, seed, targetBytes); err != nil {
+		return nil, 0, err
+	}
+	size := buf.Len()
+	doc, err := xmltree.Parse(&buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return doc, size, nil
+}
+
+type generator struct {
+	r   *rand.Rand
+	w   io.Writer
+	err error
+}
+
+func (g *generator) emit(format string, args ...any) {
+	if g.err != nil {
+		return
+	}
+	_, g.err = fmt.Fprintf(g.w, format, args...)
+}
+
+func (g *generator) word() string { return words[g.r.Intn(len(words))] }
+
+func (g *generator) phrase(n int) string {
+	s := g.word()
+	for i := 1; i < n; i++ {
+		s += " " + g.word()
+	}
+	return s
+}
+
+func (g *generator) item(id int) {
+	g.emit(`<item id="item%d">`, id)
+	g.emit("<location>%s</location>", locations[g.r.Intn(len(locations))])
+	g.emit("<quantity>%d</quantity>", 1+g.r.Intn(5))
+	g.emit("<name>%s</name>", g.phrase(2+g.r.Intn(2)))
+	g.emit("<payment>%s</payment>", payments[g.r.Intn(len(payments))])
+	g.emit("<description>")
+	// 40% of descriptions carry a parlist (Q1/Q2's structural feature);
+	// the rest are plain text. parlist recursion enables edge
+	// generalization: a nested parlist is .//parlist but not ./parlist
+	// of description.
+	if g.r.Float64() < 0.4 {
+		g.parlist(0)
+	} else {
+		g.text()
+	}
+	g.emit("</description>")
+	g.emit("<shipping>%s</shipping>", g.phrase(3))
+	// incategory is optional (leaf deletion): 0–3 occurrences.
+	for i, n := 0, g.r.Intn(4); i < n; i++ {
+		g.emit(`<incategory category="c%d"/>`, g.r.Intn(100))
+	}
+	// mailbox with 0–3 mails; mail text shares the text element with
+	// listitem (subtree promotion).
+	g.emit("<mailbox>")
+	for i, n := 0, g.r.Intn(4); i < n; i++ {
+		g.emit("<mail><from>%s</from><to>%s</to><date>%02d/%02d/2004</date>",
+			g.word(), g.word(), 1+g.r.Intn(12), 1+g.r.Intn(28))
+		g.text()
+		g.emit("</mail>")
+	}
+	g.emit("</mailbox>")
+	g.emit("</item>")
+}
+
+// text emits a text element with optional bold/keyword/emph children
+// (Q3's nested predicates).
+func (g *generator) text() {
+	g.emit("<text>%s", g.phrase(3+g.r.Intn(5)))
+	if g.r.Float64() < 0.5 {
+		g.emit("<bold>%s</bold>", g.word())
+	}
+	if g.r.Float64() < 0.5 {
+		g.emit("<keyword>%s</keyword>", g.word())
+	}
+	if g.r.Float64() < 0.3 {
+		g.emit("<emph>%s</emph>", g.word())
+	}
+	g.emit("</text>")
+}
+
+// parlist emits a parlist whose listitems contain either text or, with
+// decreasing probability, nested parlists (the DTD's recursion).
+func (g *generator) parlist(depth int) {
+	g.emit("<parlist>")
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		g.emit("<listitem>")
+		if depth < 3 && g.r.Float64() < 0.35 {
+			g.parlist(depth + 1)
+		} else {
+			g.text()
+		}
+		g.emit("</listitem>")
+	}
+	g.emit("</parlist>")
+}

@@ -1,0 +1,160 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dewey"
+)
+
+// Parse reads serialized XML from r and returns the document forest.
+// Character data directly under an element becomes the element's Value
+// (whitespace-trimmed); attributes become child nodes tagged "@name" so
+// that structural predicates can address them uniformly.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+	doc := NewDocument()
+	var stack []*Node
+	var texts []*strings.Builder
+
+	push := func(n *Node) {
+		stack = append(stack, n)
+		texts = append(texts, &strings.Builder{})
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var n *Node
+			if len(stack) == 0 {
+				n = &Node{Tag: t.Name.Local}
+				n.ID = (dewey.ID{}).Child(len(doc.Roots))
+				doc.Roots = append(doc.Roots, n)
+			} else {
+				parent := stack[len(stack)-1]
+				n = &Node{
+					Tag:    t.Name.Local,
+					ID:     parent.ID.Child(len(parent.Children)),
+					Parent: parent,
+				}
+				parent.Children = append(parent.Children, n)
+			}
+			for _, attr := range t.Attr {
+				a := &Node{
+					Tag:    "@" + attr.Name.Local,
+					Value:  attr.Value,
+					ID:     n.ID.Child(len(n.Children)),
+					Parent: n,
+				}
+				n.Children = append(n.Children, a)
+			}
+			push(n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			top.Value = strings.TrimSpace(texts[len(texts)-1].String())
+			stack = stack[:len(stack)-1]
+			texts = texts[:len(texts)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				texts[len(texts)-1].Write(t)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: %d unclosed element(s)", len(stack))
+	}
+	doc.renumber()
+	return doc, nil
+}
+
+// ParseString parses a document from a string.
+func ParseString(s string) (*Document, error) { return Parse(strings.NewReader(s)) }
+
+// Serialize writes the document back as indented XML. Attribute nodes
+// (tag "@name") are rendered as attributes; order of children is
+// preserved. The output is sufficient to round-trip through Parse.
+func (d *Document) Serialize(w io.Writer) error {
+	for _, r := range d.Roots {
+		if err := writeNode(w, r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SerializedSize returns the number of bytes Serialize would write. It is
+// used to calibrate generated documents against the paper's 1/10/50 MB
+// document sizes.
+func (d *Document) SerializedSize() int {
+	var c countWriter
+	_ = d.Serialize(&c)
+	return int(c)
+}
+
+type countWriter int
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}
+
+func writeNode(w io.Writer, n *Node, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	var attrs strings.Builder
+	var elems []*Node
+	for _, c := range n.Children {
+		if strings.HasPrefix(c.Tag, "@") {
+			fmt.Fprintf(&attrs, " %s=\"%s\"", c.Tag[1:], escapeAttr(c.Value))
+		} else {
+			elems = append(elems, c)
+		}
+	}
+	if len(elems) == 0 && n.Value == "" {
+		_, err := fmt.Fprintf(w, "%s<%s%s/>\n", indent, n.Tag, attrs.String())
+		return err
+	}
+	if len(elems) == 0 {
+		_, err := fmt.Fprintf(w, "%s<%s%s>%s</%s>\n", indent, n.Tag, attrs.String(), escapeText(n.Value), n.Tag)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s%s>", indent, n.Tag, attrs.String()); err != nil {
+		return err
+	}
+	if n.Value != "" {
+		if _, err := io.WriteString(w, escapeText(n.Value)); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, c := range elems {
+		if err := writeNode(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", indent, n.Tag)
+	return err
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+
+var attrEscaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "\n", "&#10;", "\t", "&#9;",
+)
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

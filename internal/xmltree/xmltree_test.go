@@ -1,0 +1,269 @@
+package xmltree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const bookXML = `
+<book>
+  <title>wodehouse</title>
+  <info>
+    <publisher>
+      <name>psmith</name>
+      <location>london</location>
+    </publisher>
+    <isbn>1234</isbn>
+  </info>
+  <price>48.95</price>
+</book>`
+
+func TestParseBasicStructure(t *testing.T) {
+	doc, err := ParseString(bookXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(doc.Roots))
+	}
+	book := doc.Roots[0]
+	if book.Tag != "book" {
+		t.Fatalf("root tag = %q", book.Tag)
+	}
+	if len(book.Children) != 3 {
+		t.Fatalf("book children = %d, want 3", len(book.Children))
+	}
+	title := book.Children[0]
+	if title.Tag != "title" || title.Value != "wodehouse" {
+		t.Fatalf("title = %v", title)
+	}
+	if title.Parent != book {
+		t.Fatal("parent pointer broken")
+	}
+	name := book.Children[1].Children[0].Children[0]
+	if name.Tag != "name" || name.Value != "psmith" {
+		t.Fatalf("nested node = %v", name)
+	}
+}
+
+func TestParseDeweyAssignment(t *testing.T) {
+	doc, err := ParseString(bookXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := doc.Roots[0]
+	if got := book.ID.String(); got != "0" {
+		t.Fatalf("root ID = %s, want 0", got)
+	}
+	loc := book.Children[1].Children[0].Children[1]
+	if got := loc.ID.String(); got != "0.1.0.1" {
+		t.Fatalf("location ID = %s, want 0.1.0.1", got)
+	}
+	if !book.ID.IsAncestorOf(loc.ID) {
+		t.Fatal("Dewey ancestor relation broken")
+	}
+}
+
+func TestParsePreorderOrdinals(t *testing.T) {
+	doc, err := ParseString(bookXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range doc.Nodes {
+		if n.Ord != i {
+			t.Fatalf("ordinal mismatch at %d: %d", i, n.Ord)
+		}
+	}
+	// Preorder: each node's Dewey ID must be >= the previous one's.
+	for i := 1; i < len(doc.Nodes); i++ {
+		if doc.Nodes[i].ID.Compare(doc.Nodes[i-1].ID) <= 0 {
+			t.Fatalf("preorder violated between %v and %v", doc.Nodes[i-1], doc.Nodes[i])
+		}
+	}
+}
+
+func TestParseAttributesBecomeNodes(t *testing.T) {
+	doc, err := ParseString(`<item id="i7"><name>gold</name></item>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := doc.Roots[0]
+	if len(item.Children) != 2 {
+		t.Fatalf("children = %d, want 2 (attr + name)", len(item.Children))
+	}
+	attr := item.Children[0]
+	if attr.Tag != "@id" || attr.Value != "i7" {
+		t.Fatalf("attr node = %v", attr)
+	}
+}
+
+func TestParseForest(t *testing.T) {
+	// The model accepts a forest (Figure 1's three books).
+	doc, err := ParseString(`<book><title>a</title></book><book><title>b</title></book>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(doc.Roots))
+	}
+	if doc.Roots[0].ID.String() != "0" || doc.Roots[1].ID.String() != "1" {
+		t.Fatalf("forest IDs = %s, %s", doc.Roots[0].ID, doc.Roots[1].ID)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"<a><b></a>", "<a>", "</a>", "<a attr=></a>"} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	doc, err := ParseString(bookXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if doc2.Size() != doc.Size() {
+		t.Fatalf("round trip size %d != %d", doc2.Size(), doc.Size())
+	}
+	for i := range doc.Nodes {
+		a, b := doc.Nodes[i], doc2.Nodes[i]
+		if a.Tag != b.Tag || a.Value != b.Value || !a.ID.Equal(b.ID) {
+			t.Fatalf("node %d mismatch: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSerializeEscapesText(t *testing.T) {
+	doc, err := ParseString(`<a>x &amp; y &lt; z</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Roots[0].Value != "x & y < z" {
+		t.Fatalf("value = %q", doc.Roots[0].Value)
+	}
+	var buf bytes.Buffer
+	if err := doc.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "&amp;") || !strings.Contains(buf.String(), "&lt;") {
+		t.Fatalf("unescaped output: %s", buf.String())
+	}
+	if _, err := Parse(&buf); err != nil {
+		t.Fatalf("re-parse of escaped output: %v", err)
+	}
+}
+
+func TestSerializedSize(t *testing.T) {
+	doc, _ := ParseString(bookXML)
+	var buf bytes.Buffer
+	if err := doc.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.SerializedSize(); got != buf.Len() {
+		t.Fatalf("SerializedSize = %d, want %d", got, buf.Len())
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	doc := NewBuilder().
+		Root("site").
+		Open("items").
+		Open("item").Leaf("name", "vase").Leaf("price", "12").Close().
+		Open("item").Leaf("name", "urn").Close().
+		Close().
+		Doc()
+	if len(doc.Roots) != 1 || doc.Roots[0].Tag != "site" {
+		t.Fatal("builder root broken")
+	}
+	items := doc.Roots[0].Children[0]
+	if len(items.Children) != 2 {
+		t.Fatalf("items children = %d", len(items.Children))
+	}
+	if items.Children[0].Children[1].Value != "12" {
+		t.Fatal("leaf value lost")
+	}
+	// Ordinals assigned.
+	if doc.Nodes[0].Ord != 0 || doc.Size() != 7 {
+		t.Fatalf("size = %d, want 7", doc.Size())
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	doc, _ := ParseString(bookXML)
+	book := doc.Roots[0]
+	name := book.Children[1].Children[0].Children[0]
+	if got := name.Path(); got != "book/info/publisher/name" {
+		t.Fatalf("Path = %q", got)
+	}
+	desc := book.Descendants()
+	if len(desc) != doc.Size()-1 {
+		t.Fatalf("descendants = %d, want %d", len(desc), doc.Size()-1)
+	}
+	if book.Level() != 1 || name.Level() != 4 {
+		t.Fatalf("levels = %d, %d", book.Level(), name.Level())
+	}
+	if s := name.String(); s != "name(psmith)@0.1.0.0" {
+		t.Fatalf("String = %q", s)
+	}
+	var nilNode *Node
+	if nilNode.String() != "<nil>" {
+		t.Fatal("nil String")
+	}
+}
+
+func TestTags(t *testing.T) {
+	doc, _ := ParseString(bookXML)
+	tags := doc.Tags()
+	want := []string{"book", "info", "isbn", "location", "name", "price", "publisher", "title"}
+	if len(tags) != len(want) {
+		t.Fatalf("tags = %v", tags)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("tags = %v, want %v", tags, want)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	doc, _ := ParseString(bookXML)
+	count := 0
+	doc.Walk(func(n *Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("walk visited %d, want 3", count)
+	}
+}
+
+func TestNodeByOrd(t *testing.T) {
+	doc, _ := ParseString(bookXML)
+	if doc.NodeByOrd(0) != doc.Roots[0] {
+		t.Fatal("NodeByOrd(0) broken")
+	}
+	if doc.NodeByOrd(-1) != nil || doc.NodeByOrd(doc.Size()) != nil {
+		t.Fatal("out-of-range NodeByOrd should be nil")
+	}
+}
+
+func TestAddRootAndAddChildRenumber(t *testing.T) {
+	doc := NewDocument()
+	r := doc.AddRoot("a")
+	doc.AddChild(r, "b", "v")
+	doc.Renumber()
+	if doc.Size() != 2 || doc.Nodes[1].Value != "v" {
+		t.Fatalf("manual construction broken: %v", doc.Nodes)
+	}
+}

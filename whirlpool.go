@@ -1,0 +1,409 @@
+// Package whirlpool is an adaptive top-k query processor for XML,
+// reproducing "Adaptive Processing of Top-k Queries in XML" (Marian,
+// Amer-Yahia, Koudas, Srivastava; ICDE 2005).
+//
+// It evaluates tree-pattern queries (an XPath subset) over XML documents
+// and returns the k best answers, exact or approximate. Approximation is
+// defined by query relaxation — edge generalization, leaf deletion and
+// subtree promotion — and answers are ranked with an XML-specific tf*idf
+// scoring function. Evaluation is adaptive: each partial match is routed
+// individually through per-query-node servers, and matches that cannot
+// reach the current top-k are pruned early.
+//
+// Basic usage:
+//
+//	db, _ := whirlpool.LoadFile("catalog.xml")
+//	q, _ := whirlpool.ParseQuery("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+//	res, _ := db.TopK(q, whirlpool.Options{K: 5})
+//	for _, a := range res.Answers {
+//	    fmt.Println(a.Score, a.Root.Path())
+//	}
+//
+// The four evaluation algorithms of the paper (Whirlpool-S, Whirlpool-M,
+// LockStep, LockStep-NoPrun), its routing strategies and queue
+// disciplines are all selectable through Options.
+package whirlpool
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/index"
+	"repro/internal/keyword"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/score"
+	"repro/internal/store"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+// Re-exported building blocks. Aliases make the full vocabulary of the
+// engine available from the public package.
+type (
+	// Node is one node of a parsed XML document.
+	Node = xmltree.Node
+	// Document is a parsed XML forest.
+	Document = xmltree.Document
+	// Query is a tree pattern (an XPath subset).
+	Query = pattern.Query
+	// QueryNode is one node of a tree pattern.
+	QueryNode = pattern.Node
+	// Result is the outcome of a top-k evaluation: answers plus stats.
+	Result = core.Result
+	// Answer is one ranked answer.
+	Answer = core.Answer
+	// Stats instruments an evaluation (server operations, join
+	// comparisons, partial matches created, pruned, duration).
+	Stats = core.Stats
+	// Algorithm selects the evaluation strategy.
+	Algorithm = core.Algorithm
+	// Routing selects the adaptive routing strategy.
+	Routing = core.Routing
+	// Queue selects the priority queue discipline.
+	Queue = core.Queue
+	// Relaxation is the set of enabled query relaxations.
+	Relaxation = relax.Relaxation
+	// Normalization selects the tf*idf score normalization.
+	Normalization = score.Normalization
+	// Scorer computes score contributions; implement it to rank with a
+	// custom function.
+	Scorer = score.Scorer
+	// Engine is a prepared evaluator for one (document, query, options)
+	// combination, reusable across runs.
+	Engine = core.Engine
+	// Estimator supplies approximate routing statistics (fanout and
+	// selectivity); see Database.MarkovEstimator.
+	Estimator = core.Estimator
+	// Explanation reports how one query node was satisfied in an answer.
+	Explanation = core.Explanation
+	// MatchKind classifies an Explanation (exact, edge-generalized,
+	// promoted, deleted).
+	MatchKind = core.MatchKind
+)
+
+// Explanation kinds.
+const (
+	MatchExact           = core.MatchExact
+	MatchEdgeGeneralized = core.MatchEdgeGeneralized
+	MatchPromoted        = core.MatchPromoted
+	MatchDeleted         = core.MatchDeleted
+)
+
+// Explain classifies every query node of an answer: which bindings are
+// exact, which required edge generalization or subtree promotion, and
+// which were relaxed away.
+func Explain(q *Query, a Answer) []Explanation { return core.Explain(q, a) }
+
+// Evaluation algorithms (Section 6.1.2 of the paper).
+const (
+	// WhirlpoolS is the single-threaded adaptive algorithm.
+	WhirlpoolS = core.WhirlpoolS
+	// WhirlpoolM is the multi-threaded algorithm (one goroutine per
+	// server).
+	WhirlpoolM = core.WhirlpoolM
+	// LockStep processes all matches through one server at a time.
+	LockStep = core.LockStep
+	// LockStepNoPrune is LockStep without pruning.
+	LockStepNoPrune = core.LockStepNoPrune
+)
+
+// Routing strategies (Section 6.1.4).
+const (
+	RoutingStatic   = core.RoutingStatic
+	RoutingMaxScore = core.RoutingMaxScore
+	RoutingMinScore = core.RoutingMinScore
+	RoutingMinAlive = core.RoutingMinAlive
+)
+
+// Queue disciplines (Section 6.1.3).
+const (
+	QueueMaxFinal     = core.QueueMaxFinal
+	QueueFIFO         = core.QueueFIFO
+	QueueCurrentScore = core.QueueCurrentScore
+	QueueMaxNext      = core.QueueMaxNext
+)
+
+// Relaxations (Section 2).
+const (
+	EdgeGeneralization = relax.EdgeGeneralization
+	LeafDeletion       = relax.LeafDeletion
+	SubtreePromotion   = relax.SubtreePromotion
+	RelaxNone          = relax.None
+	RelaxAll           = relax.All
+)
+
+// Score normalizations (Section 6.2.2).
+const (
+	NormRaw    = score.Raw
+	NormSparse = score.Sparse
+	NormDense  = score.Dense
+)
+
+// Database is a loaded, indexed XML document ready for querying.
+type Database struct {
+	doc *Document
+	ix  index.Source
+}
+
+// Load parses an XML document (or forest) from r and indexes it.
+func Load(r io.Reader) (*Database, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromDocument(doc), nil
+}
+
+// LoadString parses and indexes a document held in a string.
+func LoadString(s string) (*Database, error) {
+	doc, err := xmltree.ParseString(s)
+	if err != nil {
+		return nil, err
+	}
+	return FromDocument(doc), nil
+}
+
+// LoadFile parses and indexes the XML file at path.
+func LoadFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// FromDocument indexes an already parsed document.
+func FromDocument(doc *Document) *Database {
+	return &Database{doc: doc, ix: index.Build(doc)}
+}
+
+// LoadProjected parses XML from r keeping only the nodes the given
+// queries can touch (their tags, plus every ancestor of a kept node).
+// The projected database answers those queries exactly as a full load
+// would — levels, containment and sibling order are preserved — while
+// using far less memory on documents with rich irrelevant content.
+func LoadProjected(r io.Reader, queries ...*Query) (*Database, error) {
+	tags := make(map[string]bool)
+	for _, q := range queries {
+		if q == nil {
+			return nil, fmt.Errorf("whirlpool: nil query")
+		}
+		for _, n := range q.Nodes {
+			tags[n.Tag] = true
+		}
+	}
+	doc, err := xmltree.ParseProjected(r, func(tag string) bool { return tags[tag] })
+	if err != nil {
+		return nil, err
+	}
+	return FromDocument(doc), nil
+}
+
+// Save persists the database as a compact binary snapshot at path.
+// Opening a snapshot with Open is much faster than re-parsing and
+// re-indexing the source XML.
+func (db *Database) Save(path string) error {
+	return store.Save(path, db.doc)
+}
+
+// Open loads a database snapshot previously written by Save. Postings
+// lists are decoded lazily, so queries only touch the access paths they
+// probe.
+func Open(path string) (*Database, error) {
+	r, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{doc: r.Document(), ix: r}, nil
+}
+
+// Document returns the underlying parsed document.
+func (db *Database) Document() *Document { return db.doc }
+
+// Size returns the number of nodes in the database.
+func (db *Database) Size() int { return db.doc.Size() }
+
+// ParseQuery parses the XPath subset used by the paper, e.g.
+// "//item[./description/parlist and ./mailbox/mail/text]".
+func ParseQuery(xpath string) (*Query, error) { return pattern.Parse(xpath) }
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(xpath string) *Query { return pattern.MustParse(xpath) }
+
+// Options configures a top-k evaluation. The zero value asks for the
+// paper's defaults: k = 10, Whirlpool-S, min_alive adaptive routing,
+// max-possible-final queues, all relaxations, sparse tf*idf scoring.
+type Options struct {
+	// K is the number of answers (default 10).
+	K int
+	// Algorithm selects the evaluation strategy (default WhirlpoolS).
+	Algorithm Algorithm
+	// Routing selects the routing strategy (default RoutingMinAlive;
+	// ignored by the LockStep algorithms).
+	Routing Routing
+	// Queue selects the queue discipline (default QueueMaxFinal).
+	Queue Queue
+	// Relax selects the enabled relaxations. Exactly RelaxNone computes
+	// exact matches only; leaving Relax zero means RelaxNone, so set
+	// RelaxAll (or use Approximate) for the paper's approximate mode.
+	Relax Relaxation
+	// Normalization selects the tf*idf normalization used when Scorer is
+	// nil (default NormSparse).
+	Normalization Normalization
+	// Scorer overrides the default tf*idf scorer.
+	Scorer Scorer
+	// Order fixes the static server order for RoutingStatic/LockStep.
+	Order []int
+	// OpCost adds synthetic per-operation cost (adaptivity studies).
+	OpCost time.Duration
+	// Estimator supplies approximate routing statistics instead of exact
+	// index scans; see Database.MarkovEstimator. Estimates only steer
+	// routing — answers are unaffected.
+	Estimator Estimator
+}
+
+// Approximate returns the default options for approximate top-k matching
+// with all relaxations enabled.
+func Approximate(k int) Options { return Options{K: k, Relax: RelaxAll} }
+
+// Exact returns the default options for exact top-k matching.
+func Exact(k int) Options { return Options{K: k, Relax: RelaxNone} }
+
+// NewEngine prepares a reusable engine for q under opts.
+func (db *Database) NewEngine(q *Query, opts Options) (*Engine, error) {
+	if q == nil {
+		return nil, fmt.Errorf("whirlpool: nil query")
+	}
+	k := opts.K
+	if k == 0 {
+		k = 10
+	}
+	scorer := opts.Scorer
+	if scorer == nil {
+		norm := opts.Normalization
+		if norm == score.Raw {
+			norm = score.Sparse
+		}
+		scorer = score.NewTFIDF(db.ix, q, norm)
+	}
+	routing := opts.Routing
+	if routing == core.RoutingStatic && opts.Order == nil && opts.Algorithm != LockStep && opts.Algorithm != LockStepNoPrune {
+		routing = core.RoutingMinAlive
+	}
+	cfg := core.Config{
+		K:         k,
+		Relax:     opts.Relax,
+		Algorithm: opts.Algorithm,
+		Routing:   routing,
+		Order:     opts.Order,
+		Queue:     opts.Queue,
+		Scorer:    scorer,
+		OpCost:    opts.OpCost,
+		Estimator: opts.Estimator,
+	}
+	return core.New(db.ix, q, cfg)
+}
+
+// TopK evaluates q and returns the k best answers.
+func (db *Database) TopK(q *Query, opts Options) (*Result, error) {
+	return db.TopKContext(context.Background(), q, opts)
+}
+
+// TopKContext is TopK with cancellation: when ctx is cancelled the
+// evaluation winds down promptly and ctx's error is returned.
+func (db *Database) TopKContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	e, err := db.NewEngine(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunContext(ctx)
+}
+
+// CostBasedOrder chooses a static server order a priori from index
+// statistics (fewest expected alive extensions first) — a conventional
+// optimizer's pick, usable as Options.Order with RoutingStatic or the
+// LockStep algorithms.
+func (db *Database) CostBasedOrder(q *Query, r Relaxation) []int {
+	return core.CostBasedOrder(db.ix, q, r)
+}
+
+// TopKString parses the query and evaluates it in one call.
+func (db *Database) TopKString(xpath string, opts Options) (*Result, error) {
+	q, err := ParseQuery(xpath)
+	if err != nil {
+		return nil, err
+	}
+	return db.TopK(q, opts)
+}
+
+// AnswerScore computes the whole-answer tf*idf score of Definition 4.4
+// for a candidate root node (the sum over component predicates of
+// idf·tf), under the given normalization.
+func (db *Database) AnswerScore(q *Query, norm Normalization, root *Node) float64 {
+	s := score.NewTFIDF(db.ix, q, norm)
+	return score.AnswerScore(db.ix, q, s, root)
+}
+
+// MarkovEstimator builds a one-pass Markov-table summary of the database
+// (per-tag counts and parent→child transition counts) usable as
+// Options.Estimator: routing statistics come from the summary instead of
+// exact per-query index scans, trading estimate precision for a much
+// cheaper engine build on large documents.
+func (db *Database) MarkovEstimator() Estimator {
+	return estimate.Summarize(db.doc)
+}
+
+// KeywordIndex is an inverted word index over the text of one element
+// type, answering bag-of-words top-k queries with Fagin's threshold
+// algorithm — the mediator-style ranking family the paper compares
+// against (Section 3).
+type KeywordIndex = keyword.Index
+
+// KeywordAnswer is one ranked keyword-search result.
+type KeywordAnswer = keyword.Answer
+
+// BuildKeywordIndex indexes the text under every element with scopeTag
+// (e.g. "item"): each such element becomes a candidate answer for
+// KeywordTopK queries, scored Σ idf(word)·tf(word, element).
+func (db *Database) BuildKeywordIndex(scopeTag string) *KeywordIndex {
+	return keyword.Build(db.doc, scopeTag)
+}
+
+// XMarkOptions sizes a generated XMark-equivalent document. Set exactly
+// one of Items or Bytes.
+type XMarkOptions struct {
+	// Seed drives generation; equal seeds generate identical documents.
+	Seed int64
+	// Items is the number of auction items to generate.
+	Items int
+	// Bytes targets a serialized document size instead (the paper's
+	// 1 MB / 10 MB / 50 MB axis).
+	Bytes int
+}
+
+// GenerateXMark builds and indexes a deterministic XMark-equivalent
+// document (see internal/xmark for the structural features it shares with
+// the XMark benchmark generator the paper used).
+func GenerateXMark(opts XMarkOptions) (*Database, error) {
+	if (opts.Items == 0) == (opts.Bytes == 0) {
+		return nil, fmt.Errorf("whirlpool: set exactly one of Items or Bytes")
+	}
+	var doc *Document
+	var err error
+	if opts.Items > 0 {
+		doc, err = xmark.Generate(xmark.Options{Seed: opts.Seed, Items: opts.Items})
+	} else {
+		doc, _, err = xmark.GenerateBytes(opts.Seed, opts.Bytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return FromDocument(doc), nil
+}

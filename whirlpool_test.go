@@ -1,0 +1,374 @@
+package whirlpool
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const catalogXML = `
+<book>
+  <title>wodehouse</title>
+  <info>
+    <publisher><name>psmith</name><location>london</location></publisher>
+  </info>
+  <price>48.95</price>
+</book>
+<book>
+  <title>wodehouse</title>
+  <publisher><name>psmith</name></publisher>
+</book>
+<book>
+  <reviews><title>wodehouse</title></reviews>
+</book>`
+
+func TestLoadAndTopK(t *testing.T) {
+	db, err := LoadString(catalogXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.TopKString("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']", Approximate(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 3 {
+		t.Fatalf("answers = %d, want 3", len(res.Answers))
+	}
+	if res.Answers[0].Root.Path() != "book" {
+		t.Fatalf("answer root = %s", res.Answers[0].Root.Path())
+	}
+	for i := 1; i < len(res.Answers); i++ {
+		if res.Answers[i].Score > res.Answers[i-1].Score {
+			t.Fatal("answers not sorted")
+		}
+	}
+}
+
+func TestExactOptions(t *testing.T) {
+	db, err := LoadString(catalogXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.TopKString("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']", Exact(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("exact answers = %d, want 1", len(res.Answers))
+	}
+}
+
+func TestAllAlgorithmsViaFacade(t *testing.T) {
+	db, err := LoadString(catalogXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery("/book[.//title = 'wodehouse']")
+	var base []float64
+	for _, alg := range []Algorithm{WhirlpoolS, WhirlpoolM, LockStep, LockStepNoPrune} {
+		opts := Approximate(2)
+		opts.Algorithm = alg
+		res, err := db.TopK(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := make([]float64, len(res.Answers))
+		for i, a := range res.Answers {
+			scores[i] = a.Score
+		}
+		if base == nil {
+			base = scores
+			continue
+		}
+		if len(scores) != len(base) {
+			t.Fatalf("%v: %v vs %v", alg, scores, base)
+		}
+		for i := range base {
+			if math.Abs(scores[i]-base[i]) > 1e-9 {
+				t.Fatalf("%v: %v vs %v", alg, scores, base)
+			}
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cat.xml")
+	if err := os.WriteFile(path, []byte(catalogXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() == 0 {
+		t.Fatal("empty database")
+	}
+	if db.Document().Size() != db.Size() {
+		t.Fatal("Document accessor inconsistent")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.xml")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadString("<a><b></a>"); err == nil {
+		t.Fatal("malformed XML should error")
+	}
+	if _, err := Load(strings.NewReader("<a>")); err == nil {
+		t.Fatal("unclosed XML should error")
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	if _, err := ParseQuery("not an xpath"); err == nil {
+		t.Fatal("bad query should error")
+	}
+	db, _ := LoadString(catalogXML)
+	if _, err := db.TopKString("also bad", Approximate(1)); err == nil {
+		t.Fatal("TopKString should surface parse errors")
+	}
+	if _, err := db.TopK(nil, Approximate(1)); err == nil {
+		t.Fatal("nil query should error")
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	db, _ := LoadString(catalogXML)
+	res, err := db.TopKString("/book", Options{Relax: RelaxAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 3 { // default k=10 > 3 books
+		t.Fatalf("answers = %d", len(res.Answers))
+	}
+}
+
+func TestGenerateXMark(t *testing.T) {
+	db, err := GenerateXMark(XMarkOptions{Seed: 1, Items: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.TopKString("//item[./description/parlist]", Approximate(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers on generated document")
+	}
+	// Bytes sizing.
+	db2, err := GenerateXMark(XMarkOptions{Seed: 1, Bytes: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Size() == 0 {
+		t.Fatal("empty generated database")
+	}
+	// Invalid option combinations.
+	if _, err := GenerateXMark(XMarkOptions{Seed: 1}); err == nil {
+		t.Fatal("no sizing should error")
+	}
+	if _, err := GenerateXMark(XMarkOptions{Seed: 1, Items: 5, Bytes: 5}); err == nil {
+		t.Fatal("double sizing should error")
+	}
+}
+
+func TestAnswerScore(t *testing.T) {
+	db, _ := LoadString(catalogXML)
+	q := MustParseQuery("/book[./title = 'wodehouse']")
+	books := db.Document().Roots
+	s0 := db.AnswerScore(q, NormRaw, books[0])
+	s2 := db.AnswerScore(q, NormRaw, books[2])
+	if s0 <= s2 {
+		t.Fatalf("exact book score %v must beat approximate %v", s0, s2)
+	}
+}
+
+func TestEngineReuse(t *testing.T) {
+	db, _ := LoadString(catalogXML)
+	q := MustParseQuery("/book[./title = 'wodehouse']")
+	e, err := db.NewEngine(q, Approximate(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Answers) != len(r2.Answers) {
+		t.Fatal("engine reuse changed results")
+	}
+	for i := range r1.Answers {
+		if r1.Answers[i].Score != r2.Answers[i].Score {
+			t.Fatal("engine reuse changed scores")
+		}
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	db, err := GenerateXMark(XMarkOptions{Seed: 9, Items: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "site.wpx")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Size() != db.Size() {
+		t.Fatalf("snapshot size %d != %d", db2.Size(), db.Size())
+	}
+	q := MustParseQuery("//item[./description/parlist and ./mailbox/mail/text]")
+	r1, err := db.TopK(q, Approximate(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.TopK(q, Approximate(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Answers) != len(r2.Answers) {
+		t.Fatalf("answers %d vs %d", len(r1.Answers), len(r2.Answers))
+	}
+	for i := range r1.Answers {
+		if math.Abs(r1.Answers[i].Score-r2.Answers[i].Score) > 1e-9 {
+			t.Fatalf("answer %d: %v vs %v", i, r1.Answers[i].Score, r2.Answers[i].Score)
+		}
+		if r1.Answers[i].Root.Ord != r2.Answers[i].Root.Ord {
+			t.Fatalf("answer %d roots differ", i)
+		}
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "nope.wpx")); err == nil {
+		t.Fatal("missing snapshot should error")
+	}
+}
+
+func TestLoadProjectedAnswersMatchFullLoad(t *testing.T) {
+	full, err := GenerateXMark(XMarkOptions{Seed: 4, Items: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := full.Document().Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery("//item[./description/parlist and ./mailbox/mail/text]")
+	proj, err := LoadProjected(strings.NewReader(buf.String()), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Size() >= full.Size() {
+		t.Fatalf("projection did not shrink: %d vs %d", proj.Size(), full.Size())
+	}
+	rFull, err := full.TopK(q, Approximate(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rProj, err := proj.TopK(q, Approximate(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rFull.Answers) != len(rProj.Answers) {
+		t.Fatalf("answers %d vs %d", len(rFull.Answers), len(rProj.Answers))
+	}
+	for i := range rFull.Answers {
+		if math.Abs(rFull.Answers[i].Score-rProj.Answers[i].Score) > 1e-9 {
+			t.Fatalf("answer %d: %v vs %v", i, rFull.Answers[i].Score, rProj.Answers[i].Score)
+		}
+	}
+	if _, err := LoadProjected(strings.NewReader("<a/>"), nil); err == nil {
+		t.Fatal("nil query should error")
+	}
+}
+
+func TestTopKContextCancel(t *testing.T) {
+	db, err := GenerateXMark(XMarkOptions{Seed: 2, Items: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := MustParseQuery("//item[./name]")
+	if _, err := db.TopKContext(ctx, q, Approximate(5)); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCostBasedOrderFacade(t *testing.T) {
+	db, err := GenerateXMark(XMarkOptions{Seed: 2, Items: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery("//item[./description/parlist and ./mailbox/mail/text]")
+	order := db.CostBasedOrder(q, RelaxAll)
+	if len(order) != q.Size()-1 {
+		t.Fatalf("order = %v", order)
+	}
+	opts := Approximate(5)
+	opts.Routing = RoutingStatic
+	opts.Order = order
+	if _, err := db.TopK(q, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeywordSearchFacade(t *testing.T) {
+	db, err := GenerateXMark(XMarkOptions{Seed: 6, Items: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ki := db.BuildKeywordIndex("item")
+	if ki.Scopes() != 120 {
+		t.Fatalf("scopes = %d", ki.Scopes())
+	}
+	ta, _ := ki.TopKTA("gold silver", 5)
+	scan := ki.TopKScan("gold silver", 5)
+	if len(ta) != len(scan) {
+		t.Fatalf("TA %d vs scan %d answers", len(ta), len(scan))
+	}
+	for i := range ta {
+		if math.Abs(ta[i].Score-scan[i].Score) > 1e-9 {
+			t.Fatalf("answer %d: %v vs %v", i, ta[i].Score, scan[i].Score)
+		}
+	}
+	if len(ta) == 0 {
+		t.Fatal("no keyword answers on generated corpus")
+	}
+}
+
+func TestMarkovEstimatorFacade(t *testing.T) {
+	db, err := GenerateXMark(XMarkOptions{Seed: 12, Items: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery("//item[./description/parlist and ./mailbox/mail/text]")
+	exact, err := db.TopK(q, Approximate(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Approximate(10)
+	opts.Estimator = db.MarkovEstimator()
+	est, err := db.TopK(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Answers) != len(est.Answers) {
+		t.Fatalf("answers %d vs %d", len(exact.Answers), len(est.Answers))
+	}
+	for i := range exact.Answers {
+		if math.Abs(exact.Answers[i].Score-est.Answers[i].Score) > 1e-9 {
+			t.Fatalf("answer %d: %v vs %v", i, exact.Answers[i].Score, est.Answers[i].Score)
+		}
+	}
+}
