@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments experiments-full fuzz clean
+.PHONY: all build vet lint test race bench experiments experiments-full fuzz clean
 
-all: build vet test
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Whirlpool-specific analyzers (lockguard, floatscore, goroutineleak,
+# ctxpoll); `go run ./cmd/whirlpool-lint -list` describes each. Also
+# usable as `go vet -vettool=$(shell which whirlpool-lint) ./...`.
+lint:
+	$(GO) run ./cmd/whirlpool-lint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,112 @@
+// Command whirlpool-lint runs the Whirlpool analyzer suite
+// (internal/analysis): lockguard, floatscore, goroutineleak, ctxpoll.
+//
+// Standalone, over package patterns (exit 1 on findings):
+//
+//	go run ./cmd/whirlpool-lint ./...
+//	whirlpool-lint ./internal/core/ ./cmd/whirlpoold/
+//
+// Or as a vet tool, one package per invocation driven by the go
+// command:
+//
+//	go vet -vettool=$(which whirlpool-lint) ./...
+//
+// Deliberate exceptions are annotated in source; see each analyzer's
+// doc (whirlpool-lint -list) and the Static analysis section of the
+// README.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command identifies a vet tool by running it with -V=full
+	// before handing it package config files.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		printVersion()
+		return 0
+	}
+	// The second handshake: the go command asks which flags the tool
+	// accepts (JSON list). This suite has no per-analyzer flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return analysis.RunVetTool(args[0], analysis.All())
+	}
+
+	fs := flag.NewFlagSet("whirlpool-lint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: whirlpool-lint [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.Path, terr)
+			broken = true
+		}
+	}
+	if broken {
+		return 1
+	}
+	diags, err := analysis.Run(analysis.All(), pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion implements the -V=full handshake: the go command folds
+// the line into its build cache key, so it must change when the tool
+// does — hash the executable.
+func printVersion() {
+	name := "whirlpool-lint"
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:8])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}

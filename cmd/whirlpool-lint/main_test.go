@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestRunCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := repoRoot(t)
+	wd, _ := os.Getwd()
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	if code := run([]string{"./..."}); code != 0 {
+		t.Fatalf("whirlpool-lint ./... exited %d on the repo, want 0", code)
+	}
+}
+
+func TestRunFindsSeededViolations(t *testing.T) {
+	root := repoRoot(t)
+	testdata := filepath.Join(root, "internal", "analysis", "testdata", "src", "goroutineleak")
+	if code := run([]string{testdata}); code != 1 {
+		t.Fatalf("whirlpool-lint on seeded testdata exited %d, want 1", code)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	if code := run([]string{"-V=full"}); code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	if code := run([]string{"-flags"}); code != 0 {
+		t.Fatalf("-flags exited %d", code)
+	}
+}
+
+// TestVetToolProtocol drives the binary exactly the way `go vet
+// -vettool` does: build it, then let the go command invoke it per
+// package with config files.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet")
+	}
+	root := repoRoot(t)
+	tool := filepath.Join(t.TempDir(), "whirlpool-lint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/whirlpool-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tool: %v\n%s", err, out)
+	}
+
+	clean := exec.Command("go", "vet", "-vettool="+tool, "./internal/core/")
+	clean.Dir = root
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package: %v\n%s", err, out)
+	}
+
+	seeded := exec.Command("go", "vet", "-vettool="+tool,
+		"./internal/analysis/testdata/src/lockguard/")
+	seeded.Dir = root
+	out, err := seeded.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on seeded testdata succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "guarded by counter.mu") {
+		t.Fatalf("vet output missing lockguard diagnostic:\n%s", out)
+	}
+}

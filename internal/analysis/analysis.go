@@ -1,0 +1,149 @@
+// Package analysis is a self-contained static-analysis framework plus
+// the Whirlpool-specific analyzers built on it. It mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — but is
+// implemented entirely on the standard library's go/ast and go/types so
+// the module stays dependency-free.
+//
+// The analyzers enforce the conventions Whirlpool's correctness rests
+// on: mutex-guarded struct fields only touched under the lock
+// (lockguard), no raw float equality between scores (floatscore), no
+// fire-and-forget goroutines (goroutineleak), and prompt cancellation
+// polling in unbounded engine loops (ctxpoll). Deliberate exceptions
+// are annotated in source with `// +whirllint:<tag>` lines in the doc
+// comment of the enclosing function; each analyzer documents the tag it
+// honours.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the
+	// command line.
+	Name string
+	// Doc is the analyzer's help text; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position. Analyzer errors (not findings) abort.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// annotationPrefix introduces a lint annotation inside a doc comment:
+// `// +whirllint:locked`, `// +whirllint:exactscore`, ...
+const annotationPrefix = "+whirllint:"
+
+// hasAnnotation reports whether the function declaration carries the
+// given whirllint annotation (e.g. tag "locked") in its doc comment.
+func hasAnnotation(fn *ast.FuncDecl, tag string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	want := annotationPrefix + tag
+	for _, c := range fn.Doc.List {
+		line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if line == want {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls yields every function declaration in the pass's files.
+func funcDecls(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// isNamedType reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

@@ -1,0 +1,98 @@
+// Package analysistest runs an analyzer over a golden testdata package
+// and compares its findings against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's own
+// framework.
+//
+// A testdata source line expecting a finding carries a trailing
+// comment with a regular expression the diagnostic message must match:
+//
+//	t.count++ // want `guarded by .*mu`
+//
+// Lines without a want comment must produce no finding.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads the package rooted at dir (a testdata directory), applies
+// the analyzer, and reports mismatches between diagnostics and want
+// comments on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(abs)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	pkg := pkgs[0]
+	for _, err := range pkg.TypeErrors {
+		t.Errorf("testdata does not type-check: %v", err)
+	}
+
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed want comment %q (use // want `regexp`)",
+							pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Errorf("%s: bad want regexp: %v", pkg.Fset.Position(c.Pos()), err)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], re)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching `%s`", k.file, k.line, re)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestAnalyzers runs every analyzer over its golden testdata package:
+// seeded violations must be reported (matching the `// want` patterns)
+// and clean code must stay silent.
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		name     string
+		analyzer *analysis.Analyzer
+	}{
+		{"lockguard", analysis.LockGuard},
+		{"floatscore", analysis.FloatScore},
+		{"goroutineleak", analysis.GoroutineLeak},
+		{"ctxpoll", analysis.CtxPoll},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.analyzer.Name != tt.name {
+				t.Fatalf("analyzer name = %q, want %q", tt.analyzer.Name, tt.name)
+			}
+			analysistest.Run(t, filepath.Join("testdata", "src", tt.name), tt.analyzer)
+		})
+	}
+}
+
+// TestRegistry pins the suite contents so a new analyzer cannot be
+// added without wiring it into All (and thus whirlpool-lint).
+func TestRegistry(t *testing.T) {
+	var names []string
+	for _, a := range analysis.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incomplete", a)
+		}
+		names = append(names, a.Name)
+	}
+	got := strings.Join(names, ",")
+	want := "ctxpoll,floatscore,goroutineleak,lockguard"
+	if got != want {
+		t.Fatalf("All() = %s, want %s", got, want)
+	}
+}
+
+// TestSuiteCleanOnRepo is the acceptance gate: the analyzers must find
+// nothing in the repo's own production code.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load("repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Fatalf("testdata package %s leaked into repro/...", pkg.Path)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	diags, err := analysis.Run(analysis.All(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("lint regression: %s", d)
+	}
+}

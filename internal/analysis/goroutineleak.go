@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoroutineLeak forbids fire-and-forget goroutines in non-test code.
+// Whirlpool-M's workers all hang off a sync.WaitGroup so RunContext can
+// guarantee nothing outlives the call; a stray `go` statement breaks
+// that contract silently (workers still draining queues after the run
+// returned its Result).
+//
+// A `go` statement passes the check when it launches a function literal
+// whose body (transitively) defers or calls Done on a sync.WaitGroup.
+// Goroutines whose lifecycle is owned elsewhere — e.g. handed to a
+// supervisor — are annotated on the enclosing function:
+//
+//	// +whirllint:managed
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "report goroutines not tied to a sync.WaitGroup (fire-and-forget)",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) error {
+	for _, fn := range funcDecls(pass) {
+		if fn.Body == nil || hasAnnotation(fn, "managed") {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(g.Pos(),
+					"goroutine launches a named function; wrap it in a func literal with `defer wg.Done()` or annotate the enclosing function %smanaged",
+					annotationPrefix)
+				return true
+			}
+			if !signalsWaitGroup(pass, lit.Body) {
+				pass.Reportf(g.Pos(),
+					"fire-and-forget goroutine: body never calls Done on a sync.WaitGroup; tie it to the run's WaitGroup or annotate the enclosing function %smanaged",
+					annotationPrefix)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// signalsWaitGroup reports whether the block contains wg.Done() for
+// some sync.WaitGroup wg (deferred or direct).
+func signalsWaitGroup(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(sel.X); t != nil && isNamedType(t, "sync", "WaitGroup") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// A Package is one loaded, parsed and type-checked target package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds any type-checking problems. Analyzer results on
+	// an ill-typed package are best-effort.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// loader type-checks a dependency graph produced by `go list -deps`.
+// Dependencies are checked once each with function bodies ignored;
+// target packages get full syntax, comments and types.Info.
+type loader struct {
+	fset  *token.FileSet
+	metas map[string]*listPkg
+	deps  map[string]*types.Package
+	busy  map[string]bool
+}
+
+// Load runs `go list -deps` on the patterns and returns the matched
+// (non-dependency) packages, parsed and type-checked. Test files are
+// excluded: the analyzers enforce invariants on production code.
+func Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,DepOnly,Error",
+		"-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	// Cgo off: every stdlib package the tool touches then has a pure-Go
+	// file set that go/types can check from source, offline.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	ld := &loader{
+		fset:  token.NewFileSet(),
+		metas: make(map[string]*listPkg),
+		deps:  make(map[string]*types.Package),
+		busy:  make(map[string]bool),
+	}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		m := new(listPkg)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		ld.metas[m.ImportPath] = m
+		if !m.DepOnly {
+			targets = append(targets, m)
+		}
+	}
+
+	var pkgs []*Package
+	for _, m := range targets {
+		if m.Error != nil {
+			return nil, fmt.Errorf("%s: %s", m.ImportPath, m.Error.Err)
+		}
+		pkg, err := ld.check(m)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check fully type-checks one target package.
+func (ld *loader) check(m *listPkg) (*Package, error) {
+	files, err := ld.parse(m, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg := &Package{
+		Path:  m.ImportPath,
+		Name:  m.Name,
+		Dir:   m.Dir,
+		Fset:  ld.fset,
+		Files: files,
+		Info:  info,
+	}
+	conf := &types.Config{
+		Importer:                 &mapImporter{ld: ld, importMap: m.ImportMap},
+		Sizes:                    types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC:              true,
+		DisableUnusedImportCheck: true,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	pkg.Types, _ = conf.Check(m.ImportPath, ld.fset, files, info)
+	return pkg, nil
+}
+
+// dep type-checks a dependency (bodies ignored), memoized.
+func (ld *loader) dep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ld.deps[path]; ok {
+		return p, nil
+	}
+	m := ld.metas[path]
+	if m == nil {
+		return nil, fmt.Errorf("package %s not in go list -deps output", path)
+	}
+	if ld.busy[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.busy[path] = true
+	defer delete(ld.busy, path)
+
+	files, err := ld.parse(m, 0)
+	if err != nil {
+		return nil, err
+	}
+	conf := &types.Config{
+		Importer:                 &mapImporter{ld: ld, importMap: m.ImportMap},
+		Sizes:                    types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC:              true,
+		IgnoreFuncBodies:         true,
+		DisableUnusedImportCheck: true,
+		// Dependencies only need a usable exported API; tolerate noise.
+		Error: func(error) {},
+	}
+	p, _ := conf.Check(path, ld.fset, files, nil)
+	ld.deps[path] = p
+	return p, nil
+}
+
+func (ld *loader) parse(m *listPkg, mode parser.Mode) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(m.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// mapImporter resolves one package's imports: through its vendor/module
+// import map first, then via the shared dependency loader.
+type mapImporter struct {
+	ld        *loader
+	importMap map[string]string
+}
+
+func (im *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	return im.ld.dep(path)
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// All returns every Whirlpool analyzer, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{CtxPoll, FloatScore, GoroutineLeak, LockGuard}
+}

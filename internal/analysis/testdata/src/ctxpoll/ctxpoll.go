@@ -1,0 +1,72 @@
+// Package ctxpoll is golden testdata for the ctxpoll analyzer.
+package ctxpoll
+
+import "context"
+
+type run struct{ ctx context.Context }
+
+func (r *run) cancelled() bool {
+	select {
+	case <-r.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// polling checks the run's cancellation flag every iteration.
+func (r *run) polling(popped chan int) {
+	for {
+		if r.cancelled() {
+			return
+		}
+		if _, ok := <-popped; !ok {
+			return
+		}
+	}
+}
+
+// selectPoll receives from ctx.Done directly.
+func selectPoll(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		}
+	}
+}
+
+func (r *run) unbounded(ch chan int) {
+	for { // want `unbounded loop never polls cancellation`
+		v, ok := <-ch
+		if !ok {
+			return
+		}
+		_ = v
+	}
+}
+
+// spin burns CPU until the deadline on purpose.
+// +whirllint:busywait
+func spin(deadline func() bool) {
+	for deadline() {
+	}
+}
+
+func busy(deadline func() bool) {
+	for deadline() { // want `empty-body busy-wait loop`
+	}
+}
+
+// bounded loops carry their own termination condition.
+func bounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,54 @@
+// Package floatscore is golden testdata for the floatscore analyzer.
+package floatscore
+
+const pruneEps = 1e-12
+
+type match struct {
+	score    float64
+	maxFinal float64
+}
+
+// prunable is the sanctioned idiom: an epsilon absorbs float noise.
+func prunable(m *match, threshold float64) bool {
+	return m.maxFinal <= threshold+pruneEps
+}
+
+func badEqual(a, b *match) bool {
+	return a.score == b.score // want `raw == between float64 scores`
+}
+
+func badNotEqual(a, b *match) bool {
+	return a.score != b.score // want `raw != between float64 scores`
+}
+
+func badPrune(m *match, threshold float64) bool {
+	return m.maxFinal <= threshold // want `raw <= between float64 scores`
+}
+
+func badGeq(contrib, threshold float64) bool {
+	return contrib >= threshold // want `raw >= between float64 scores`
+}
+
+// Strict < and > order scores without asserting float equality.
+func ordering(a, b match) bool {
+	return a.score > b.score
+}
+
+// Not float64: exact comparison of integral scores is fine.
+func intScores(scoreA, scoreB int) bool {
+	return scoreA == scoreB
+}
+
+// Not score-typed names: out of the analyzer's jurisdiction.
+func unrelated(x, y float64) bool {
+	return x == y
+}
+
+// sortTies breaks score ties deterministically on purpose.
+// +whirllint:exactscore
+func sortTies(a, b match) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+// Package goroutineleak is golden testdata for the goroutineleak
+// analyzer.
+package goroutineleak
+
+import "sync"
+
+func managedLaunch() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func nonDeferredDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done()
+	}()
+}
+
+func fireAndForget() {
+	go func() { // want `fire-and-forget goroutine`
+		work()
+	}()
+}
+
+func namedLaunch() {
+	go work() // want `goroutine launches a named function`
+}
+
+// background hands its goroutine to the process supervisor, which owns
+// the shutdown.
+// +whirllint:managed
+func background() {
+	go work()
+}
+
+func work() {}

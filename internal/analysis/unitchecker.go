@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` protocol, mirroring
+// golang.org/x/tools/go/analysis/unitchecker: the go command invokes
+// the tool once per package with a JSON config file describing the
+// package's sources and the export data of its dependencies (already
+// compiled, so no source type-checking is needed). The tool writes the
+// (for this suite always empty) facts file the go command expects and
+// reports diagnostics on stderr.
+
+// VetConfig is the JSON payload cmd/go hands a vet tool.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool analyzes the single package described by the config file
+// and returns the process exit code: 0 clean, 1 operational failure,
+// 2 diagnostics reported (the exit codes cmd/vet tools use). Output
+// goes to stderr, like unitchecker.
+func RunVetTool(cfgPath string, analyzers []*Analyzer) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The go command requires the facts file even from tools that keep
+	// no facts, and for VetxOnly packages (dependencies loaded just for
+	// facts) it is the only output needed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		// The go command also vets test variants of each package; this
+		// suite enforces invariants on production code only (tests
+		// assert exact scores and drive loops synthetically).
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := &types.Config{
+		Importer:    imp,
+		Sizes:       types.SizesFor(compiler, runtime.GOARCH),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, err := range typeErrs {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		return 1
+	}
+
+	pkg := &Package{
+		Path:  cfg.ImportPath,
+		Name:  tpkg.Name(),
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := Run(analyzers, []*Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return cfg, nil
+}

@@ -170,6 +170,11 @@ func (e *Engine) priority(m *match, serverID int) float64 {
 }
 
 // spin burns CPU for d, simulating per-operation join cost (Figure 8).
+// The deadline is computed once up front; the loop then busy-waits
+// against the monotonic clock with no runtime.Gosched — yielding would
+// let other server goroutines interleave and under-report the simulated
+// cost. Bounded by d, so cancellation polling is not needed here.
+// +whirllint:busywait
 func spin(d time.Duration) {
 	if d <= 0 {
 		return

@@ -43,7 +43,10 @@ func newTopkSet(k int, floor float64, hasFloor bool) *topkSet {
 
 // offer records that root rootOrd is guaranteed to reach at least
 // m.score. It keeps the best match per root and maintains the top-k
-// slice.
+// slice. Score comparisons here are deliberately exact: equal scores
+// tie-break on seq / root ordinal for deterministic results, and an
+// epsilon would make "equal" depend on accumulation order.
+// +whirllint:exactscore
 func (t *topkSet) offer(m *match) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -78,6 +81,10 @@ func (t *topkSet) offer(m *match) {
 	}
 }
 
+// sortTop re-sorts the top-k slice. Callers hold t.mu; exact score
+// comparison is the deterministic sort tie-break.
+// +whirllint:locked
+// +whirllint:exactscore
 func (t *topkSet) sortTop() {
 	sort.Slice(t.top, func(i, j int) bool {
 		if t.top[i].score != t.top[j].score {

@@ -212,14 +212,22 @@ func TopK(ix index.Source, q *pattern.Query, s score.Scorer, k int) ([]Answer, S
 	for _, a := range best {
 		answers = append(answers, a)
 	}
+	sortAnswers(answers)
+	if len(answers) > k {
+		answers = answers[:k]
+	}
+	return answers, st
+}
+
+// sortAnswers orders answers best first. The score comparison is
+// deliberately exact: equal scores tie-break on the root ordinal so
+// the baseline's ranking is deterministic.
+// +whirllint:exactscore
+func sortAnswers(answers []Answer) {
 	sort.Slice(answers, func(i, j int) bool {
 		if answers[i].Score != answers[j].Score {
 			return answers[i].Score > answers[j].Score
 		}
 		return answers[i].Root.Ord < answers[j].Root.Ord
 	})
-	if len(answers) > k {
-		answers = answers[:k]
-	}
-	return answers, st
 }

@@ -321,6 +321,10 @@ func (ix *Index) finalize(scores map[int]float64, k int) []Answer {
 	return trim(answers, k)
 }
 
+// sortAnswers orders answers best first. The score comparison is
+// deliberately exact: equal scores tie-break on the node ordinal so
+// TA/NRA/scan return identical rankings.
+// +whirllint:exactscore
 func sortAnswers(answers []Answer) {
 	sort.Slice(answers, func(i, j int) bool {
 		if answers[i].Score != answers[j].Score {
@@ -337,6 +341,13 @@ func trim(answers []Answer, k int) []Answer {
 	return answers
 }
 
+// taEps absorbs floating-point noise in TA's termination test, the
+// same way pruneEps does for the engine's pruning bound
+// (internal/core/run.go): idf·tf sums accumulate in different orders
+// on the sorted- and random-access paths, so a raw >= could keep
+// scanning one depth past the true stopping point — or stop one early.
+const taEps = 1e-12
+
 func kthAtLeast(seen map[int]float64, k int, threshold float64) bool {
 	if len(seen) < k {
 		return false
@@ -346,7 +357,7 @@ func kthAtLeast(seen map[int]float64, k int, threshold float64) bool {
 		scores = append(scores, s)
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
-	return scores[k-1] >= threshold
+	return scores[k-1] >= threshold-taEps
 }
 
 func dedup(words []string) []string {

@@ -45,12 +45,7 @@ func TopK(ix index.Source, q *pattern.Query, r relax.Relaxation, s score.Scorer,
 		}
 		answers = append(answers, Answer{Root: root, Score: best})
 	}
-	sort.Slice(answers, func(i, j int) bool {
-		if answers[i].Score != answers[j].Score {
-			return answers[i].Score > answers[j].Score
-		}
-		return answers[i].Root.Ord < answers[j].Root.Ord
-	})
+	sortAnswers(answers)
 	if len(answers) > k {
 		answers = answers[:k]
 	}
@@ -64,6 +59,19 @@ type evaluator struct {
 	scorer score.Scorer
 
 	rootPath []relax.PathPredicate // exact composition root -> node
+}
+
+// sortAnswers orders answers best first. The score comparison is
+// deliberately exact: equal scores tie-break on the root ordinal so
+// baseline and engine rankings are deterministic.
+// +whirllint:exactscore
+func sortAnswers(answers []Answer) {
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Score != answers[j].Score {
+			return answers[i].Score > answers[j].Score
+		}
+		return answers[i].Root.Ord < answers[j].Root.Ord
+	})
 }
 
 func (ev *evaluator) prepare() {

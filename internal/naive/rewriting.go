@@ -1,8 +1,6 @@
 package naive
 
 import (
-	"sort"
-
 	"repro/internal/dewey"
 	"repro/internal/index"
 	"repro/internal/pattern"
@@ -41,12 +39,7 @@ func TopKByRewriting(ix index.Source, q *pattern.Query, r relax.Relaxation, s sc
 	for ord, sc := range best {
 		answers = append(answers, Answer{Root: roots[ord], Score: sc})
 	}
-	sort.Slice(answers, func(i, j int) bool {
-		if answers[i].Score != answers[j].Score {
-			return answers[i].Score > answers[j].Score
-		}
-		return answers[i].Root.Ord < answers[j].Root.Ord
-	})
+	sortAnswers(answers)
 	if len(answers) > k {
 		answers = answers[:k]
 	}

@@ -15,15 +15,16 @@ import (
 // materialized at open; postings lists stay encoded until a query first
 // probes them (decoded lists are cached).
 type Reader struct {
-	doc  *xmltree.Document
-	tags []string
+	// Immutable after Parse: safe to read without the mutex.
+	doc     *xmltree.Document
+	tags    []string
+	raw     []byte
+	tagPost map[string]span // encoded per-tag postings
+	valPost map[string]span // encoded per-(tag,value) postings
 
 	mu       sync.Mutex
-	tagPost  map[string]span // encoded per-tag postings
-	valPost  map[string]span // encoded per-(tag,value) postings
 	tagCache *lruCache
 	valCache *lruCache
-	raw      []byte
 }
 
 // SetCacheLimit bounds the decoded-postings caches to at most limit
@@ -290,8 +291,6 @@ func (r *Reader) NodesMatching(tag string, vt index.ValueTest) []*xmltree.Node {
 
 // CountTag implements index.Source without decoding the list.
 func (r *Reader) CountTag(tag string) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return r.tagPost[tag].count
 }
 
@@ -356,16 +355,12 @@ func (r *Reader) Predicate(rootTag string, axis dewey.Axis, tag string, vt index
 // corruption found. Use it after Open when failing fast is preferable to
 // empty probe results.
 func (r *Reader) Verify() error {
-	r.mu.Lock()
-	spans := make([]span, 0, len(r.tagPost)+len(r.valPost))
 	for _, sp := range r.tagPost {
-		spans = append(spans, sp)
+		if _, err := r.decode(sp); err != nil {
+			return err
+		}
 	}
 	for _, sp := range r.valPost {
-		spans = append(spans, sp)
-	}
-	r.mu.Unlock()
-	for _, sp := range spans {
 		if _, err := r.decode(sp); err != nil {
 			return err
 		}
