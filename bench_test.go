@@ -226,8 +226,8 @@ func BenchmarkKeywordTA(b *testing.B) {
 	ki := db.BuildKeywordIndex("item")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res, _ := ki.TopKTA("gold silver jade", 10); len(res) == 0 {
-			b.Fatal("no answers")
+		if res, _, err := ki.TopKTA("gold silver jade", 10); err != nil || len(res) == 0 {
+			b.Fatalf("no answers (err %v)", err)
 		}
 	}
 }

@@ -11,6 +11,7 @@
 //	whirlbench -ablations      # queue-discipline and scoring ablations
 //	whirlbench -full           # paper-scale parameters
 //	whirlbench -scale 0.1 -k 15 -opcost 200us -seed 7
+//	whirlbench -trace run.jsonl  # dump one run's engine events as JSONL
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "generator seed (default 1)")
 		opcost    = flag.Duration("opcost", 0, "synthetic per-operation cost (default 100µs)")
 		orders    = flag.Int("orders", 0, "static permutations to sweep (default all 120)")
+		trace     = flag.String("trace", "", "dump one representative run's engine events to FILE as JSONL and exit")
 	)
 	flag.Parse()
 
@@ -53,10 +56,39 @@ func main() {
 		}
 	}
 
+	if *trace != "" {
+		if err := dumpTrace(os.Stdout, cfg, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "whirlbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(os.Stdout, cfg, *fig, *tableNo, *ablations); err != nil {
 		fmt.Fprintln(os.Stderr, "whirlbench:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpTrace runs one representative evaluation with a JSONL trace sink
+// writing to path.
+func dumpTrace(out io.Writer, cfg bench.Config, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewJSONL(f)
+	runErr := bench.TraceRun(out, cfg, sink)
+	if err := sink.Err(); runErr == nil && err != nil {
+		runErr = fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); runErr == nil && err != nil {
+		runErr = err
+	}
+	if runErr == nil {
+		fmt.Fprintf(out, "trace: events written to %s\n", path)
+	}
+	return runErr
 }
 
 func run(out io.Writer, cfg bench.Config, fig, tableNo int, ablations bool) error {

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func fastCfg() bench.Config {
@@ -53,5 +56,41 @@ func TestRunUnknownSelectors(t *testing.T) {
 	}
 	if err := run(&buf, fastCfg(), 0, 1, false); err == nil {
 		t.Fatal("table 1 is not an experiment")
+	}
+}
+
+func TestDumpTrace(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	var buf bytes.Buffer
+	if err := dumpTrace(&buf, fastCfg(), path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "events written to") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has %d events", len(lines))
+	}
+	var first, last struct {
+		Kind    string          `json:"event"`
+		Run     *obs.RunInfo    `json:"run"`
+		Summary *obs.RunSummary `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != "run_start" || first.Run == nil || first.Run.Algorithm != "Whirlpool-S" {
+		t.Fatalf("first event = %+v", first)
+	}
+	if last.Kind != "run_end" || last.Summary == nil || last.Summary.ServerOps == 0 {
+		t.Fatalf("last event = %+v", last)
 	}
 }

@@ -7,7 +7,9 @@
 // Endpoints:
 //
 //	GET  /healthz          → 200 "ok"
-//	GET  /stats            → document statistics (JSON)
+//	GET  /stats            → document, cache and per-engine statistics (JSON)
+//	GET  /metrics          → request/engine metrics (JSON; ?format=prometheus
+//	                         for Prometheus text exposition)
 //	POST /query            → top-k evaluation (JSON in/out)
 //	POST /keyword          → bag-of-words top-k (JSON in/out)
 //
@@ -20,6 +22,10 @@
 //	  "algorithm": "whirlpool-s",     // optional
 //	  "timeout_ms": 2000              // optional
 //	}
+//
+// Engines and keyword indexes are cached per request signature in
+// LRU caches bounded by -cache; -access-log emits one structured JSON
+// line per request to stderr.
 package main
 
 import (
@@ -34,8 +40,10 @@ import (
 
 func main() {
 	var (
-		file = flag.String("file", "", "XML file or .wpx snapshot to serve (required)")
-		addr = flag.String("addr", ":8080", "listen address")
+		file      = flag.String("file", "", "XML file or .wpx snapshot to serve (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", defaultCacheSize, "max cached engines / keyword indexes (LRU)")
+		accessLog = flag.Bool("access-log", false, "log one structured JSON line per request to stderr")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -52,7 +60,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := newServer(db)
+	opts := serverOptions{CacheSize: *cacheSize}
+	if *accessLog {
+		opts.AccessLog = log.New(os.Stderr, "", 0)
+	}
+	srv := newServer(db, opts)
 	log.Printf("whirlpoold: serving %s (%d nodes) on %s", *file, db.Size(), *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)

@@ -5,52 +5,231 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
-	"sync"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/lru"
+	"repro/internal/obs"
 )
+
+// defaultCacheSize bounds the engine/query and keyword-index caches
+// when the -cache flag (or serverOptions) does not say otherwise.
+const defaultCacheSize = 256
 
 // server routes HTTP requests to a shared database. Engines are cached
 // per (query, options) signature so repeated queries skip plan and
-// scorer construction.
+// scorer construction; keyword indexes are cached per scope tag. Both
+// caches are LRU-bounded and build entries outside any server-wide
+// lock: a slow engine or index construction only ever blocks requests
+// for the same cache key (per-key singleflight), never the rest of the
+// serving path.
 type server struct {
-	db  *whirlpool.Database
-	mux *http.ServeMux
+	db        *whirlpool.Database
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	started   time.Time
+	accessLog *log.Logger // nil disables access logging
 
-	mu      sync.Mutex
-	engines map[string]*whirlpool.Engine
-	queries map[string]*whirlpool.Query
-	kwIdx   map[string]*whirlpool.KeywordIndex
+	engines *lru.Cache[string, *engineEntry]
+	kwIdx   *lru.Cache[string, *whirlpool.KeywordIndex]
+
+	// buildHook, when non-nil, runs inside every engine / keyword-index
+	// construction, outside all server locks. Test seam: the contention
+	// tests block it to prove builds do not stall unrelated requests.
+	buildHook func()
 }
 
-func newServer(db *whirlpool.Database) *server {
+// engineEntry is one cached (query, options) signature: the prepared
+// engine and its parsed query (needed to label bindings in responses).
+type engineEntry struct {
+	key string
+	eng *whirlpool.Engine
+	q   *whirlpool.Query
+}
+
+// serverOptions configures newServer.
+type serverOptions struct {
+	// CacheSize bounds each LRU cache (engines, keyword indexes);
+	// 0 means defaultCacheSize.
+	CacheSize int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request.
+	AccessLog *log.Logger
+}
+
+func newServer(db *whirlpool.Database, opts serverOptions) *server {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = defaultCacheSize
+	}
 	s := &server{
-		db:      db,
-		mux:     http.NewServeMux(),
-		engines: make(map[string]*whirlpool.Engine),
-		queries: make(map[string]*whirlpool.Query),
-		kwIdx:   make(map[string]*whirlpool.KeywordIndex),
+		db:        db,
+		mux:       http.NewServeMux(),
+		reg:       obs.NewRegistry(),
+		started:   time.Now(),
+		accessLog: opts.AccessLog,
+		engines:   lru.New[string, *engineEntry](opts.CacheSize),
+		kwIdx:     lru.New[string, *whirlpool.KeywordIndex](opts.CacheSize),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/keyword", s.handleKeyword)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// reqInfo carries per-request annotations from handlers back to the
+// access-log middleware.
+type reqInfo struct {
+	cache string // "hit", "miss" or "-" (endpoint has no cache)
+}
+
+type reqInfoKey struct{}
+
+// requestInfo returns the request's annotation record (always present
+// under ServeHTTP; a fresh throwaway otherwise, so handlers stay usable
+// in isolation).
+func requestInfo(r *http.Request) *reqInfo {
+	if ri, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		return ri
+	}
+	return &reqInfo{cache: "-"}
+}
+
+// statusWriter captures the response status and size for metrics and
+// access logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// endpointLabel maps a request path onto a bounded label set so metric
+// cardinality cannot grow with traffic.
+func endpointLabel(path string) string {
+	switch path {
+	case "/healthz", "/stats", "/metrics", "/query", "/keyword":
+		return strings.TrimPrefix(path, "/")
+	default:
+		return "other"
+	}
+}
+
+// ServeHTTP dispatches to the mux wrapped in the observability
+// middleware: per-endpoint request counters and latency/size
+// histograms, plus one structured access-log line per request.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ri := &reqInfo{cache: "-"}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))
+
+	elapsed := time.Since(start)
+	endpoint := endpointLabel(r.URL.Path)
+	s.reg.Counter("whirlpoold_http_requests_total",
+		"endpoint", endpoint, "code", strconv.Itoa(sw.status)).Inc()
+	s.reg.Histogram("whirlpoold_http_request_duration_us", "endpoint", endpoint).
+		Observe(elapsed.Microseconds())
+	s.reg.Histogram("whirlpoold_http_response_bytes", "endpoint", endpoint).
+		Observe(sw.bytes)
+	if s.accessLog != nil {
+		line, err := json.Marshal(map[string]any{
+			"time":   start.UTC().Format(time.RFC3339Nano),
+			"method": r.Method,
+			"path":   r.URL.Path,
+			"status": sw.status,
+			"dur_ms": float64(elapsed.Microseconds()) / 1000,
+			"bytes":  sw.bytes,
+			"cache":  ri.cache,
+			"remote": r.RemoteAddr,
+		})
+		if err == nil {
+			s.accessLog.Printf("%s", line)
+		}
+	}
+}
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// engineStats is one engine's cumulative instrumentation in /stats.
+type engineStats struct {
+	Key             string  `json:"key"`
+	Runs            int64   `json:"runs"`
+	Aborted         int64   `json:"aborted,omitempty"`
+	ServerOps       int64   `json:"server_ops"`
+	JoinComparisons int64   `json:"join_comparisons"`
+	MatchesCreated  int64   `json:"matches_created"`
+	Pruned          int64   `json:"pruned"`
+	TotalMS         float64 `json:"total_ms"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	engines := make([]engineStats, 0, s.engines.Len())
+	for _, it := range s.engines.Items() {
+		tot := it.Value.eng.Totals()
+		engines = append(engines, engineStats{
+			Key:             it.Key,
+			Runs:            tot.Runs,
+			Aborted:         tot.Aborted,
+			ServerOps:       tot.ServerOps,
+			JoinComparisons: tot.JoinComparisons,
+			MatchesCreated:  tot.MatchesCreated,
+			Pruned:          tot.Pruned,
+			TotalMS:         float64(tot.Duration.Microseconds()) / 1000,
+		})
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"nodes": s.db.Size(),
-		"roots": len(s.db.Document().Roots),
+		"nodes":    s.db.Size(),
+		"roots":    len(s.db.Document().Roots),
+		"uptime_s": time.Since(s.started).Seconds(),
+		"cache": map[string]any{
+			"engines": map[string]int{"len": s.engines.Len(), "cap": s.engines.Cap()},
+			"keyword": map[string]int{"len": s.kwIdx.Len(), "cap": s.kwIdx.Cap()},
+		},
+		"engines": engines,
 	})
+}
+
+// handleMetrics serves the registry: JSON by default, Prometheus text
+// exposition with ?format=prometheus (or an Accept header preferring
+// text/plain).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Gauge("whirlpoold_engine_cache_entries").Set(int64(s.engines.Len()))
+	s.reg.Gauge("whirlpoold_keyword_cache_entries").Set(int64(s.kwIdx.Len()))
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": time.Since(s.started).Seconds(),
+		"metrics":  s.reg.Snapshot(),
+	})
+}
+
+func wantsPrometheus(r *http.Request) bool {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return f == "prometheus" || f == "prom" || f == "text"
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // queryRequest is the POST /query payload.
@@ -62,7 +241,9 @@ type queryRequest struct {
 	TimeoutMS int    `json:"timeout_ms"`
 }
 
-// queryAnswer is one result row.
+// queryAnswer is one result row. Bindings are keyed "nodeID:tag" — the
+// query-node ID disambiguates two nodes with the same tag (e.g.
+// /a[./b and .//b]), which a tag-only key would silently collapse.
 type queryAnswer struct {
 	Score    float64           `json:"score"`
 	Path     string            `json:"path"`
@@ -76,6 +257,7 @@ type queryResponse struct {
 	Matches   int64         `json:"matches_created"`
 	Pruned    int64         `json:"pruned"`
 	TookMS    float64       `json:"took_ms"`
+	Cache     string        `json:"cache"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -95,10 +277,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 10
 	}
-	eng, q, err := s.engineFor(req)
+	ent, hit, err := s.engineFor(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	ri := requestInfo(r)
+	if hit {
+		ri.cache = "hit"
+		s.reg.Counter("whirlpoold_engine_cache_hits_total").Inc()
+	} else {
+		ri.cache = "miss"
+		s.reg.Counter("whirlpoold_engine_cache_misses_total").Inc()
 	}
 	ctx := r.Context()
 	if req.TimeoutMS > 0 {
@@ -106,21 +296,30 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := eng.RunContext(ctx)
+	res, err := ent.eng.RunContext(ctx)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			status = http.StatusGatewayTimeout
+			s.reg.Counter("whirlpoold_query_timeouts_total").Inc()
 		}
 		writeError(w, status, err)
 		return
 	}
+	// Cumulative engine-side measures (the paper's Figures 6–7 and
+	// Table 2 counters), live per process.
+	s.reg.Counter("whirlpoold_engine_server_ops_total").Add(res.Stats.ServerOps)
+	s.reg.Counter("whirlpoold_engine_matches_created_total").Add(res.Stats.MatchesCreated)
+	s.reg.Counter("whirlpoold_engine_matches_pruned_total").Add(res.Stats.Pruned)
+	s.reg.Histogram("whirlpoold_query_duration_us").Observe(res.Stats.Duration.Microseconds())
+
 	resp := queryResponse{
 		Answers:   make([]queryAnswer, 0, len(res.Answers)),
 		ServerOps: res.Stats.ServerOps,
 		Matches:   res.Stats.MatchesCreated,
 		Pruned:    res.Stats.Pruned,
 		TookMS:    float64(res.Stats.Duration.Microseconds()) / 1000,
+		Cache:     ri.cache,
 	}
 	for _, a := range res.Answers {
 		qa := queryAnswer{
@@ -133,15 +332,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			if b == nil || id == 0 {
 				continue
 			}
-			qa.Bindings[q.Nodes[id].Tag] = b.ID.String()
+			qa.Bindings[strconv.Itoa(id)+":"+ent.q.Nodes[id].Tag] = b.ID.String()
 		}
 		resp.Answers = append(resp.Answers, qa)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// engineFor returns a cached engine for the request signature.
-func (s *server) engineFor(req queryRequest) (*whirlpool.Engine, *whirlpool.Query, error) {
+// engineFor returns a cached engine for the request signature, building
+// it on a miss. Construction happens outside any server-wide lock:
+// concurrent requests for the same signature share one build, requests
+// for other signatures (and cached ones) proceed immediately.
+func (s *server) engineFor(req queryRequest) (*engineEntry, bool, error) {
 	opts := whirlpool.Approximate(req.K)
 	if req.Exact {
 		opts.Relax = whirlpool.RelaxNone
@@ -156,25 +358,23 @@ func (s *server) engineFor(req queryRequest) (*whirlpool.Engine, *whirlpool.Quer
 	case "lockstep-noprun":
 		opts.Algorithm = whirlpool.LockStepNoPrune
 	default:
-		return nil, nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+		return nil, false, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
 	key := fmt.Sprintf("%s|%d|%v|%s", req.Query, req.K, req.Exact, req.Algorithm)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if eng, ok := s.engines[key]; ok {
-		return eng, s.queries[key], nil
-	}
-	q, err := whirlpool.ParseQuery(req.Query)
-	if err != nil {
-		return nil, nil, err
-	}
-	eng, err := s.db.NewEngine(q, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	s.engines[key] = eng
-	s.queries[key] = q
-	return eng, q, nil
+	return s.engines.GetOrCreate(key, func() (*engineEntry, error) {
+		if s.buildHook != nil {
+			s.buildHook()
+		}
+		q, err := whirlpool.ParseQuery(req.Query)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := s.db.NewEngine(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &engineEntry{key: key, eng: eng, q: q}, nil
+	})
 }
 
 // keywordRequest is the POST /keyword payload.
@@ -201,24 +401,46 @@ func (s *server) handleKeyword(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 10
 	}
-	ki := s.keywordIndex(req.Scope)
-	answers, _ := ki.TopKTA(req.Query, req.K)
+	ki, hit, err := s.keywordIndex(req.Scope)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ri := requestInfo(r)
+	if hit {
+		ri.cache = "hit"
+	} else {
+		ri.cache = "miss"
+	}
+	if ki.Scopes() == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown scope tag %q", req.Scope))
+		return
+	}
+	answers, _, err := ki.TopKTA(req.Query, req.K)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, whirlpool.ErrBadKeywordQuery) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
 	out := make([]queryAnswer, 0, len(answers))
 	for _, a := range answers {
 		out = append(out, queryAnswer{Score: a.Score, Path: a.Node.Path(), Dewey: a.Node.ID.String()})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"answers": out})
+	writeJSON(w, http.StatusOK, map[string]any{"answers": out, "cache": ri.cache})
 }
 
-func (s *server) keywordIndex(scope string) *whirlpool.KeywordIndex {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ki, ok := s.kwIdx[scope]; ok {
-		return ki
-	}
-	ki := s.db.BuildKeywordIndex(scope)
-	s.kwIdx[scope] = ki
-	return ki
+// keywordIndex returns the cached inverted index for a scope tag,
+// building it on a miss — outside any server-wide lock, like engineFor.
+func (s *server) keywordIndex(scope string) (*whirlpool.KeywordIndex, bool, error) {
+	return s.kwIdx.GetOrCreate(scope, func() (*whirlpool.KeywordIndex, error) {
+		if s.buildHook != nil {
+			s.buildHook()
+		}
+		return s.db.BuildKeywordIndex(scope), nil
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -3,22 +3,31 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func testServer(t *testing.T) *server {
+	t.Helper()
+	return testServerOpts(t, serverOptions{})
+}
+
+func testServerOpts(t *testing.T, opts serverOptions) *server {
 	t.Helper()
 	db, err := whirlpool.GenerateXMark(whirlpool.XMarkOptions{Seed: 3, Items: 120})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(db)
+	return newServer(db, opts)
 }
 
 func post(t *testing.T, s *server, path string, body any) *httptest.ResponseRecorder {
@@ -33,21 +42,46 @@ func post(t *testing.T, s *server, path string, body any) *httptest.ResponseReco
 	return w
 }
 
+func get(t *testing.T, s *server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
 func TestHealthAndStats(t *testing.T) {
 	s := testServer(t)
-	w := httptest.NewRecorder()
-	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	w := get(t, s, "/healthz")
 	if w.Code != 200 || !strings.Contains(w.Body.String(), "ok") {
 		t.Fatalf("healthz: %d %q", w.Code, w.Body.String())
 	}
-	w = httptest.NewRecorder()
-	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
-	var stats map[string]int
+	// Run one query so /stats has a cached engine to report on.
+	if w := post(t, s, "/query", queryRequest{Query: "//item[./description/parlist]", K: 3}); w.Code != 200 {
+		t.Fatalf("query: %d %s", w.Code, w.Body.String())
+	}
+	w = get(t, s, "/stats")
+	var stats struct {
+		Nodes int `json:"nodes"`
+		Cache struct {
+			Engines struct{ Len, Cap int } `json:"engines"`
+		} `json:"cache"`
+		Engines []engineStats `json:"engines"`
+	}
 	if err := json.NewDecoder(w.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats["nodes"] == 0 {
-		t.Fatalf("stats = %v", stats)
+	if stats.Nodes == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Cache.Engines.Len != 1 || stats.Cache.Engines.Cap != defaultCacheSize {
+		t.Fatalf("cache stats = %+v", stats.Cache)
+	}
+	if len(stats.Engines) != 1 {
+		t.Fatalf("engine stats = %+v", stats.Engines)
+	}
+	es := stats.Engines[0]
+	if es.Runs != 1 || es.ServerOps == 0 || es.MatchesCreated == 0 {
+		t.Fatalf("engine totals = %+v", es)
 	}
 }
 
@@ -67,12 +101,63 @@ func TestQueryEndpoint(t *testing.T) {
 	if resp.ServerOps == 0 {
 		t.Fatal("missing stats")
 	}
+	if resp.Cache != "miss" {
+		t.Fatalf("first request cache = %q, want miss", resp.Cache)
+	}
 	a := resp.Answers[0]
 	if a.Score <= 0 || a.Path == "" || a.Dewey == "" {
 		t.Fatalf("answer = %+v", a)
 	}
-	if a.Bindings["parlist"] == "" {
+	// Bindings are keyed "nodeID:tag" so same-tag query nodes cannot
+	// collide; the parlist binding must be present under some node ID.
+	found := false
+	for k, v := range a.Bindings {
+		if strings.HasSuffix(k, ":parlist") && v != "" {
+			found = true
+		}
+	}
+	if !found {
 		t.Fatalf("bindings = %v", a.Bindings)
+	}
+
+	// The same request again is served from the engine cache.
+	w = post(t, s, "/query", queryRequest{Query: "//item[./description/parlist]", K: 5})
+	if w.Code != 200 {
+		t.Fatalf("repeat query: %d %s", w.Code, w.Body.String())
+	}
+	resp = queryResponse{}
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "hit" {
+		t.Fatalf("repeat request cache = %q, want hit", resp.Cache)
+	}
+}
+
+// TestBindingKeysDisambiguateSameTag pins the nodeID:tag key format: a
+// query with two nodes of the same tag must report both bindings, not
+// silently collapse them into one map entry.
+func TestBindingKeysDisambiguateSameTag(t *testing.T) {
+	s := testServer(t)
+	w := post(t, s, "/query", queryRequest{Query: "//item[./description/parlist/listitem and ./mailbox/mail/text/keyword and ./name]", K: 3})
+	if w.Code != 200 {
+		t.Fatalf("query: %d %s", w.Code, w.Body.String())
+	}
+	var resp queryResponse
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	// Every binding key must carry a node-ID prefix.
+	for _, a := range resp.Answers {
+		for k := range a.Bindings {
+			parts := strings.SplitN(k, ":", 2)
+			if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+				t.Fatalf("binding key %q not in nodeID:tag form", k)
+			}
+		}
 	}
 }
 
@@ -94,10 +179,23 @@ func TestQueryEndpointErrors(t *testing.T) {
 		}
 	}
 	// GET is not allowed.
-	w := httptest.NewRecorder()
-	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/query", nil))
-	if w.Code != http.StatusMethodNotAllowed {
+	if w := get(t, s, "/query"); w.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /query: %d", w.Code)
+	}
+}
+
+// TestQueryErrorsNotCached pins that a failed engine build does not
+// poison the cache: the same bad query fails identically twice and
+// leaves no entry behind.
+func TestQueryErrorsNotCached(t *testing.T) {
+	s := testServer(t)
+	for i := 0; i < 2; i++ {
+		if w := post(t, s, "/query", queryRequest{Query: "not an xpath"}); w.Code != http.StatusBadRequest {
+			t.Fatalf("attempt %d: %d %s", i, w.Code, w.Body.String())
+		}
+	}
+	if n := s.engines.Len(); n != 0 {
+		t.Fatalf("failed builds left %d cache entries", n)
 	}
 }
 
@@ -119,12 +217,99 @@ func TestQueryEngineCacheAndConcurrency(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	s.mu.Lock()
-	cached := len(s.engines)
-	s.mu.Unlock()
-	if cached != 2 {
+	// Per-key singleflight: 16 requests over 2 signatures build exactly
+	// 2 engines.
+	if cached := s.engines.Len(); cached != 2 {
 		t.Fatalf("engine cache entries = %d, want 2", cached)
 	}
+}
+
+// TestEngineCacheLRUBound pins the leak fix: the engine cache never
+// exceeds its capacity no matter how many distinct signatures arrive.
+func TestEngineCacheLRUBound(t *testing.T) {
+	s := testServerOpts(t, serverOptions{CacheSize: 4})
+	for k := 1; k <= 10; k++ {
+		w := post(t, s, "/query", queryRequest{Query: "//item[./description/parlist]", K: k})
+		if w.Code != 200 {
+			t.Fatalf("k=%d: %d %s", k, w.Code, w.Body.String())
+		}
+	}
+	if n, c := s.engines.Len(), s.engines.Cap(); n != 4 || c != 4 {
+		t.Fatalf("engine cache len=%d cap=%d, want 4/4", n, c)
+	}
+	// Evicted signatures still work (rebuilt on demand).
+	if w := post(t, s, "/query", queryRequest{Query: "//item[./description/parlist]", K: 1}); w.Code != 200 {
+		t.Fatalf("evicted signature: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestBuildDoesNotBlockServingPath is the regression test for the
+// serving-path stall: under the old server-wide lock, any request
+// arriving while an engine (or keyword index) was being built blocked
+// until the build finished — even requests whose engine was already
+// cached. Now construction happens outside the cache lock, so a parked
+// build must not delay cached requests for other keys.
+func TestBuildDoesNotBlockServingPath(t *testing.T) {
+	s := testServer(t)
+	warmQuery := queryRequest{Query: "//item[./description/parlist]", K: 3}
+	warmKeyword := keywordRequest{Scope: "item", Query: "gold silver", K: 3}
+	if w := post(t, s, "/query", warmQuery); w.Code != 200 {
+		t.Fatalf("warm query: %d %s", w.Code, w.Body.String())
+	}
+	if w := post(t, s, "/keyword", warmKeyword); w.Code != 200 {
+		t.Fatalf("warm keyword: %d %s", w.Code, w.Body.String())
+	}
+
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	s.buildHook = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+
+	slowDone := make(chan int, 1)
+	go func() {
+		w := post(t, s, "/query", queryRequest{Query: "//item[./mailbox/mail/text]", K: 3})
+		slowDone <- w.Code
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow build never started")
+	}
+
+	// With the build for the new signature parked inside buildHook, the
+	// warm requests must still be served promptly.
+	fastDone := make(chan string, 2)
+	go func() {
+		w := post(t, s, "/query", warmQuery)
+		fastDone <- fmt.Sprintf("query:%d", w.Code)
+	}()
+	go func() {
+		w := post(t, s, "/keyword", warmKeyword)
+		fastDone <- fmt.Sprintf("keyword:%d", w.Code)
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case res := <-fastDone:
+			if !strings.HasSuffix(res, ":200") {
+				t.Fatalf("cached request failed during in-flight build: %s", res)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cached request blocked on another key's in-flight build")
+		}
+	}
+
+	close(gate)
+	select {
+	case code := <-slowDone:
+		if code != 200 {
+			t.Fatalf("slow build request: %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow build request never finished")
+	}
+	s.buildHook = nil
 }
 
 func TestKeywordEndpoint(t *testing.T) {
@@ -135,6 +320,7 @@ func TestKeywordEndpoint(t *testing.T) {
 	}
 	var resp struct {
 		Answers []queryAnswer `json:"answers"`
+		Cache   string        `json:"cache"`
 	}
 	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
 		t.Fatal(err)
@@ -142,15 +328,209 @@ func TestKeywordEndpoint(t *testing.T) {
 	if len(resp.Answers) == 0 {
 		t.Fatal("no keyword answers")
 	}
+	if resp.Cache != "miss" {
+		t.Fatalf("first keyword cache = %q, want miss", resp.Cache)
+	}
 	// Missing fields rejected.
 	if w := post(t, s, "/keyword", keywordRequest{Scope: "item"}); w.Code != http.StatusBadRequest {
 		t.Fatalf("missing query: %d", w.Code)
 	}
 }
 
+// TestKeywordErrors pins the error propagation fix: TopKTA failures
+// are client errors (400), not silently-empty 200s.
+func TestKeywordErrors(t *testing.T) {
+	s := testServer(t)
+	// A query that tokenizes to nothing is a bad query.
+	w := post(t, s, "/keyword", keywordRequest{Scope: "item", Query: "!!! ...", K: 3})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unsearchable query: %d %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "no searchable words") {
+		t.Fatalf("error body = %s", w.Body.String())
+	}
+	// An unknown scope tag indexes nothing.
+	w = post(t, s, "/keyword", keywordRequest{Scope: "nonesuch", Query: "gold", K: 3})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown scope: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestMetricsAdvance asserts the acceptance criterion: after a query,
+// /metrics exposes advanced request counters, latency histograms and
+// engine counters in both JSON and Prometheus text forms.
+func TestMetricsAdvance(t *testing.T) {
+	s := testServer(t)
+	if w := post(t, s, "/query", queryRequest{Query: "//item[./description/parlist]", K: 3}); w.Code != 200 {
+		t.Fatalf("query: %d %s", w.Code, w.Body.String())
+	}
+
+	w := get(t, s, "/metrics")
+	if w.Code != 200 {
+		t.Fatalf("/metrics: %d", w.Code)
+	}
+	var body struct {
+		Metrics []obs.Metric `json:"metrics"`
+	}
+	if err := json.NewDecoder(w.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string, labels map[string]string) *obs.Metric {
+		for i := range body.Metrics {
+			m := &body.Metrics[i]
+			if m.Name != name {
+				continue
+			}
+			ok := true
+			for k, v := range labels {
+				if m.Labels[k] != v {
+					ok = false
+				}
+			}
+			if ok {
+				return m
+			}
+		}
+		return nil
+	}
+	if m := find("whirlpoold_http_requests_total", map[string]string{"endpoint": "query", "code": "200"}); m == nil || m.Value < 1 {
+		t.Fatalf("request counter missing or zero: %+v", m)
+	}
+	if m := find("whirlpoold_http_request_duration_us", map[string]string{"endpoint": "query"}); m == nil || m.Kind != "histogram" || m.Histogram == nil || m.Histogram.Count < 1 {
+		t.Fatalf("latency histogram missing or empty: %+v", m)
+	}
+	if m := find("whirlpoold_engine_server_ops_total", nil); m == nil || m.Value < 1 {
+		t.Fatalf("engine server-ops counter missing or zero: %+v", m)
+	}
+	if m := find("whirlpoold_query_duration_us", nil); m == nil || m.Histogram == nil || m.Histogram.Count < 1 {
+		t.Fatalf("query duration histogram missing or empty: %+v", m)
+	}
+	if m := find("whirlpoold_engine_cache_misses_total", nil); m == nil || m.Value != 1 {
+		t.Fatalf("cache miss counter = %+v", m)
+	}
+
+	// Prometheus text exposition of the same registry.
+	w = get(t, s, "/metrics?format=prometheus")
+	if w.Code != 200 {
+		t.Fatalf("/metrics?format=prometheus: %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	text := w.Body.String()
+	for _, want := range []string{
+		"# TYPE whirlpoold_http_requests_total counter",
+		`whirlpoold_http_requests_total{endpoint="query",code="200"} `,
+		"# TYPE whirlpoold_http_request_duration_us histogram",
+		`whirlpoold_http_request_duration_us_bucket{endpoint="query",le="+Inf"} `,
+		`whirlpoold_http_request_duration_us_count{endpoint="query"} `,
+		"# TYPE whirlpoold_engine_server_ops_total counter",
+		"# TYPE whirlpoold_engine_cache_entries gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// TestMixedConcurrentLoad drives /query and /keyword together (run
+// under -race in CI): handlers share the caches and the registry but
+// must never block on each other's construction, and the LRU bound
+// must hold throughout.
+func TestMixedConcurrentLoad(t *testing.T) {
+	s := testServerOpts(t, serverOptions{CacheSize: 3})
+	queries := []queryRequest{
+		{Query: "//item[./description/parlist]", K: 3},
+		{Query: "//item[./description/parlist]", K: 3, Algorithm: "whirlpool-m"},
+		{Query: "//item[./mailbox/mail/text]", K: 2},
+		{Query: "//item[./name]", K: 4, Algorithm: "lockstep"},
+	}
+	keywords := []keywordRequest{
+		{Scope: "item", Query: "gold silver", K: 3},
+		{Scope: "keyword", Query: "gold", K: 2},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%3 == 2 {
+				w := post(t, s, "/keyword", keywords[i%len(keywords)])
+				if w.Code != 200 {
+					t.Errorf("keyword %d: %d %s", i, w.Code, w.Body.String())
+				}
+				return
+			}
+			w := post(t, s, "/query", queries[i%len(queries)])
+			if w.Code != 200 {
+				t.Errorf("query %d: %d %s", i, w.Code, w.Body.String())
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n, c := s.engines.Len(), s.engines.Cap(); n > c {
+		t.Fatalf("engine cache exceeded bound: len=%d cap=%d", n, c)
+	}
+	if n, c := s.kwIdx.Len(), s.kwIdx.Cap(); n > c {
+		t.Fatalf("keyword cache exceeded bound: len=%d cap=%d", n, c)
+	}
+	if w := get(t, s, "/metrics"); w.Code != 200 {
+		t.Fatalf("/metrics after load: %d", w.Code)
+	}
+}
+
+// TestAccessLog asserts the structured access-log line: one JSON object
+// per request with method, path, status, latency and cache annotation.
+func TestAccessLog(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logger := log.New(syncWriter{mu: &mu, w: &buf}, "", 0)
+	s := testServerOpts(t, serverOptions{AccessLog: logger})
+	if w := post(t, s, "/query", queryRequest{Query: "//item[./description/parlist]", K: 3}); w.Code != 200 {
+		t.Fatalf("query: %d %s", w.Code, w.Body.String())
+	}
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("access log lines = %d: %q", len(lines), lines)
+	}
+	var entry struct {
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		DurMS  float64 `json:"dur_ms"`
+		Cache  string  `json:"cache"`
+		Bytes  int64   `json:"bytes"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("access log not JSON: %v (%q)", err, lines[0])
+	}
+	if entry.Method != "POST" || entry.Path != "/query" || entry.Status != 200 {
+		t.Fatalf("access log entry = %+v", entry)
+	}
+	if entry.Cache != "miss" {
+		t.Fatalf("cache annotation = %q, want miss", entry.Cache)
+	}
+	if entry.DurMS < 0 || entry.Bytes <= 0 {
+		t.Fatalf("access log entry = %+v", entry)
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
 func TestQueryTimeout(t *testing.T) {
 	s := testServer(t)
-	// A 0ms... 1ms timeout may or may not fire; accept either success or
+	// A 1ms timeout may or may not fire; accept either success or
 	// gateway timeout, but never another error.
 	w := post(t, s, "/query", queryRequest{Query: "//item[./mailbox/mail/text[./bold and ./keyword] and ./name]", K: 15, TimeoutMS: 1})
 	if w.Code != 200 && w.Code != http.StatusGatewayTimeout {

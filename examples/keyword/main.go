@@ -21,7 +21,10 @@ func main() {
 
 	for _, query := range []string{"gold", "gold silver jade", "carved antique oak"} {
 		scan := ki.TopKScan(query, 3)
-		ta, taStats := ki.TopKTA(query, 3)
+		ta, taStats, err := ki.TopKTA(query, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
 		nra, nraStats := ki.TopKNRA(query, 3)
 
 		fmt.Printf("query %q\n", query)

@@ -31,10 +31,12 @@ func (r *run) runS() {
 		}
 		// currentTopK may have grown since the match was queued.
 		if r.prunable(m) {
-			r.stats.pruned.Add(1)
+			r.prune()
 			continue
 		}
 		sid := r.nextServer(m)
+		r.traceRoute(m, sid)
+		r.traceDepth(-1, q.len())
 		batch := []*match{m}
 		// Bulk adaptivity: matches adjacent in the router queue (and so
 		// closest in priority) share the head's routing decision.
@@ -45,13 +47,14 @@ func (r *run) runS() {
 				break
 			}
 			if r.prunable(m2) {
-				r.stats.pruned.Add(1)
+				r.prune()
 				continue
 			}
 			if m2.isVisited(sid) {
 				skipped = append(skipped, m2)
 				continue
 			}
+			r.traceRoute(m2, sid)
 			batch = append(batch, m2)
 		}
 		for _, bm := range batch {
@@ -84,13 +87,15 @@ func (r *run) runLockStep(prune bool) {
 		sort.SliceStable(alive, func(i, j int) bool {
 			return r.priority(alive[i], sid) > r.priority(alive[j], sid)
 		})
+		// One depth sample per phase: the whole alive set queues at sid.
+		r.traceDepth(sid, len(alive))
 		var next []*match
 		for _, m := range alive {
 			if r.cancelled() {
 				return
 			}
 			if prune && r.prunable(m) {
-				r.stats.pruned.Add(1)
+				r.prune()
 				continue
 			}
 			for _, ext := range r.process(m, sid) {
@@ -247,12 +252,14 @@ func (r *run) routeM(routerQ *blockingPQ, serverQs []*blockingPQ, live *liveCoun
 			continue
 		}
 		if r.prunable(m) {
-			r.stats.pruned.Add(1)
+			r.prune()
 			live.add(-1)
 			continue
 		}
 		sid := r.nextServer(m)
+		r.traceRoute(m, sid)
 		serverQs[sid].push(m, r.priority(m, sid))
+		r.traceDepth(sid, serverQs[sid].len())
 		// Bulk adaptivity: drain up to batchSize-1 more matches that can
 		// reuse the decision without blocking for new arrivals.
 		for extra := 1; extra < batchSize; extra++ {
@@ -261,14 +268,17 @@ func (r *run) routeM(routerQ *blockingPQ, serverQs []*blockingPQ, live *liveCoun
 				break
 			}
 			if r.prunable(m2) {
-				r.stats.pruned.Add(1)
+				r.prune()
 				live.add(-1)
 				continue
 			}
 			if m2.isVisited(sid) {
-				serverQs[r.nextServer(m2)].push(m2, r.priority(m2, sid))
+				sid2 := r.nextServer(m2)
+				r.traceRoute(m2, sid2)
+				serverQs[sid2].push(m2, r.priority(m2, sid))
 				continue
 			}
+			r.traceRoute(m2, sid)
 			serverQs[sid].push(m2, r.priority(m2, sid))
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relax"
 	"repro/internal/score"
 	"repro/internal/xmltree"
@@ -157,6 +158,14 @@ type Config struct {
 	// (Section 6.1.4). Estimates only steer routing; answers are
 	// unaffected.
 	Estimator Estimator
+	// Trace, when non-nil, receives per-run observability events:
+	// routing decisions, the prune-threshold trajectory, queue depth
+	// samples and match lifecycle counts (see internal/obs). Every
+	// emission is nil-checked, so the default — no sink — leaves the
+	// hot path with one predictable branch and no allocation. Under
+	// Whirlpool-M the sink is invoked from multiple goroutines and must
+	// be safe for concurrent use.
+	Trace obs.TraceSink
 	// RouterBatch, when above 1, makes the adaptive router take routing
 	// decisions for groups of up to RouterBatch queue-adjacent partial
 	// matches at once (the paper's "adaptivity in bulk" future-work

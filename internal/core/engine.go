@@ -3,10 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dewey"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/relax"
 	"repro/internal/score"
@@ -27,7 +30,8 @@ type Estimator interface {
 // combination. It precomputes the server plans (Algorithm 1), the
 // per-server maximum contributions backing the maximum-possible-final
 // bound, and the fanout statistics the size-based router uses. An Engine
-// is immutable after New and safe for repeated and concurrent Run calls.
+// is immutable after New — except for the atomic cumulative totals
+// behind Totals — and safe for repeated and concurrent Run calls.
 type Engine struct {
 	cfg   Config
 	ix    index.Source
@@ -43,6 +47,58 @@ type Engine struct {
 	allVisited  uint64
 	order       []int             // static order (defaulted)
 	vts         []index.ValueTest // per-node content predicates
+
+	totals engineTotals // cumulative across runs, atomic
+}
+
+// engineTotals accumulates per-run Stats across the engine's lifetime
+// with atomics, so concurrent RunContext calls can share it. It backs
+// the per-engine cumulative stats whirlpoold serves in /stats.
+type engineTotals struct {
+	runs            atomic.Int64
+	aborted         atomic.Int64
+	serverOps       atomic.Int64
+	joinComparisons atomic.Int64
+	matchesCreated  atomic.Int64
+	pruned          atomic.Int64
+	durationNS      atomic.Int64
+}
+
+func (t *engineTotals) add(s Stats) {
+	t.runs.Add(1)
+	t.serverOps.Add(s.ServerOps)
+	t.joinComparisons.Add(s.JoinComparisons)
+	t.matchesCreated.Add(s.MatchesCreated)
+	t.pruned.Add(s.Pruned)
+	t.durationNS.Add(int64(s.Duration))
+}
+
+// Totals is a point-in-time snapshot of an engine's cumulative
+// instrumentation: the sums of every completed run's Stats (the paper's
+// Section 6.2.3 measures) plus run counts. Aborted counts cancelled
+// runs, whose partial work is not included in the sums.
+type Totals struct {
+	Runs            int64
+	Aborted         int64
+	ServerOps       int64
+	JoinComparisons int64
+	MatchesCreated  int64
+	Pruned          int64
+	Duration        time.Duration
+}
+
+// Totals returns the engine's cumulative statistics over all completed
+// RunContext calls. Safe for concurrent use with in-flight runs.
+func (e *Engine) Totals() Totals {
+	return Totals{
+		Runs:            e.totals.runs.Load(),
+		Aborted:         e.totals.aborted.Load(),
+		ServerOps:       e.totals.serverOps.Load(),
+		JoinComparisons: e.totals.joinComparisons.Load(),
+		MatchesCreated:  e.totals.matchesCreated.Load(),
+		Pruned:          e.totals.pruned.Load(),
+		Duration:        time.Duration(e.totals.durationNS.Load()),
+	}
 }
 
 // New validates cfg and builds an engine for query q over the indexed
@@ -124,6 +180,16 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		topk:   newTopkSet(e.cfg.K, e.cfg.Threshold, e.cfg.Threshold > 0),
 		ctx:    ctx,
 	}
+	r.lastThreshold.Store(math.Float64bits(math.Inf(-1)))
+	if t := e.cfg.Trace; t != nil {
+		t.RunStart(obs.RunInfo{
+			Algorithm:  e.cfg.Algorithm.String(),
+			Routing:    e.cfg.Routing.String(),
+			Queue:      e.cfg.Queue.String(),
+			K:          e.cfg.K,
+			QueryNodes: e.query.Size(),
+		})
+	}
 	start := time.Now()
 	switch e.cfg.Algorithm {
 	case WhirlpoolS:
@@ -137,13 +203,34 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", e.cfg.Algorithm)
 	}
+	stats := r.stats.snapshot()
+	stats.Duration = time.Since(start)
 	if err := ctx.Err(); err != nil {
+		e.totals.aborted.Add(1)
+		if t := e.cfg.Trace; t != nil {
+			t.RunEnd(runSummary(stats, 0, true))
+		}
 		return nil, err
 	}
 	res := &Result{Answers: r.topk.answers()}
-	res.Stats = r.stats.snapshot()
-	res.Stats.Duration = time.Since(start)
+	res.Stats = stats
+	e.totals.add(stats)
+	if t := e.cfg.Trace; t != nil {
+		t.RunEnd(runSummary(stats, len(res.Answers), false))
+	}
 	return res, nil
+}
+
+func runSummary(s Stats, answers int, aborted bool) obs.RunSummary {
+	return obs.RunSummary{
+		ServerOps:       s.ServerOps,
+		JoinComparisons: s.JoinComparisons,
+		MatchesCreated:  s.MatchesCreated,
+		Pruned:          s.Pruned,
+		Answers:         answers,
+		DurationUS:      s.Duration.Microseconds(),
+		Aborted:         aborted,
+	}
 }
 
 // guaranteedPartial reports whether a partial match's current score is a
@@ -217,5 +304,6 @@ func (r *run) initialMatches() []*match {
 		r.stats.matchesCreated.Add(1)
 		out = append(out, m)
 	}
+	r.traceMatch(obs.MatchesSpawned, len(out))
 	return out
 }

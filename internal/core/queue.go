@@ -100,6 +100,14 @@ func (q *blockingPQ) tryPop() (*match, bool) {
 	return it.m, true
 }
 
+// len samples the queue's current depth (observability only: the value
+// is stale the moment the lock is released).
+func (q *blockingPQ) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.h)
+}
+
 func (q *blockingPQ) close() {
 	q.mu.Lock()
 	q.closed = true

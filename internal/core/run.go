@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"math"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -14,6 +16,10 @@ type run struct {
 	stats runStats
 	seq   atomic.Int64
 	ctx   context.Context
+	// lastThreshold holds the float bits of the highest currentTopK
+	// value already emitted to the trace sink, deduplicating the
+	// threshold trajectory. Initialized to -Inf by RunContext.
+	lastThreshold atomic.Uint64
 }
 
 // cancelled reports whether the run's context has been cancelled.
@@ -52,6 +58,61 @@ func makeBindings(n int, root *xmltree.Node) []*xmltree.Node {
 	return b
 }
 
+// Trace helpers. Each is nil-checked so the default (no sink) costs one
+// predictable branch per call site and never allocates; arguments are
+// scalars, so a configured sink sees no per-event allocation either.
+
+func (r *run) traceMatch(kind obs.Lifecycle, n int) {
+	if t := r.cfg.Trace; t != nil && n > 0 {
+		t.MatchLifecycle(kind, n)
+	}
+}
+
+func (r *run) traceRoute(m *match, next int) {
+	if t := r.cfg.Trace; t != nil {
+		t.RouteDecision(m.seq, next)
+	}
+}
+
+func (r *run) traceDepth(server, depth int) {
+	if t := r.cfg.Trace; t != nil {
+		t.QueueDepth(server, depth)
+	}
+}
+
+// prune discards a partial match against currentTopK, keeping the
+// counter and the trace in step.
+func (r *run) prune() {
+	r.stats.pruned.Add(1)
+	r.traceMatch(obs.MatchesPruned, 1)
+}
+
+// traceThreshold emits the prune-threshold trajectory: each call
+// forwards the current threshold to the sink iff it exceeds the last
+// emitted value. The exact >= comparison is deliberate — it
+// deduplicates repeats of the same float, not a score decision — and
+// the CAS keeps concurrent Whirlpool-M emitters from double-reporting
+// one value (trajectory order across goroutines stays best-effort).
+// +whirllint:exactscore
+func (r *run) traceThreshold() {
+	sink := r.cfg.Trace
+	if sink == nil {
+		return
+	}
+	t, ok := r.topk.threshold()
+	if !ok {
+		return
+	}
+	old := r.lastThreshold.Load()
+	for math.Float64frombits(old) < t {
+		if r.lastThreshold.CompareAndSwap(old, math.Float64bits(t)) {
+			sink.Threshold(t)
+			return
+		}
+		old = r.lastThreshold.Load()
+	}
+}
+
 // checkTopK implements Section 5.2.2's checkTopK: offer the match's
 // guaranteed score to the top-k set, then decide whether the match stays
 // alive. Complete matches never stay alive (they are done); matches whose
@@ -60,12 +121,14 @@ func (r *run) checkTopK(m *match) (alive bool) {
 	complete := m.complete(r.allVisited)
 	if complete || r.guaranteedPartial() {
 		r.topk.offer(m)
+		r.traceThreshold()
 	}
 	if complete {
+		r.traceMatch(obs.MatchesCompleted, 1)
 		return false
 	}
 	if r.prunable(m) {
-		r.stats.pruned.Add(1)
+		r.prune()
 		return false
 	}
 	return true

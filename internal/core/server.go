@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/relax"
 	"repro/internal/score"
 )
@@ -67,6 +68,7 @@ func (r *run) process(m *match, sid int) []*match {
 		exts = append(exts, m.extend(sid, nil, 0, e.maxContrib[sid], r.nextSeq()))
 	}
 	r.stats.matchesCreated.Add(int64(len(exts)))
+	r.traceMatch(obs.MatchesSpawned, len(exts))
 	return exts
 }
 

@@ -20,6 +20,8 @@
 package keyword
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -27,6 +29,11 @@ import (
 
 	"repro/internal/xmltree"
 )
+
+// ErrBadQuery marks keyword-query validation failures (no searchable
+// words, non-positive k). Callers can errors.Is against it to map the
+// failure to a client error rather than a server one.
+var ErrBadQuery = errors.New("keyword: bad query")
 
 // Tokenize lower-cases s and splits it into maximal alphanumeric runs.
 func Tokenize(s string) []string {
@@ -165,10 +172,18 @@ func (ix *Index) TopKScan(query string, k int) []Answer {
 // TopKTA runs Fagin's threshold algorithm: round-robin sorted access over
 // the query words' postings, random access to complete each newly seen
 // candidate, terminating when k candidates score at least the threshold
-// Σ idf(w)·tf_w(current depth).
-func (ix *Index) TopKTA(query string, k int) ([]Answer, Stats) {
+// Σ idf(w)·tf_w(current depth). A query that tokenizes to nothing or a
+// non-positive k is a validation error (ErrBadQuery), distinguishing
+// "you asked a malformed question" from a genuinely empty result.
+func (ix *Index) TopKTA(query string, k int) ([]Answer, Stats, error) {
 	words := dedup(Tokenize(query))
 	var st Stats
+	if len(words) == 0 {
+		return nil, st, fmt.Errorf("%w: no searchable words in %q", ErrBadQuery, query)
+	}
+	if k < 1 {
+		return nil, st, fmt.Errorf("%w: k must be ≥ 1, got %d", ErrBadQuery, k)
+	}
 	lists := make([][]Entry, len(words))
 	for i, w := range words {
 		lists[i] = ix.postings[w]
@@ -216,7 +231,7 @@ func (ix *Index) TopKTA(query string, k int) ([]Answer, Stats) {
 		}
 		depth++
 	}
-	return ix.finalize(seen, k), st
+	return ix.finalize(seen, k), st, nil
 }
 
 // TopKNRA runs the no-random-access algorithm: candidates carry

@@ -1,6 +1,7 @@
 package keyword
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -97,7 +98,10 @@ func TestTAMatchesScan(t *testing.T) {
 	for _, query := range []string{"gold", "gold ring", "silver band oak", "absent", "gold gold"} {
 		for k := 1; k <= 4; k++ {
 			want := ix.TopKScan(query, k)
-			got, _ := ix.TopKTA(query, k)
+			got, _, err := ix.TopKTA(query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
 			assertSame(t, query, k, got, want)
 			gotNRA, _ := ix.TopKNRA(query, k)
 			assertSame(t, query+" (NRA)", k, gotNRA, want)
@@ -140,7 +144,10 @@ func TestTARandomizedAgainstScan(t *testing.T) {
 		query := strings.Join(queryWords, " ")
 		k := 1 + r.Intn(4)
 		want := ix.TopKScan(query, k)
-		got, _ := ix.TopKTA(query, k)
+		got, _, err := ix.TopKTA(query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
 		assertSame(t, query, k, got, want)
 		gotNRA, _ := ix.TopKNRA(query, k)
 		assertSame(t, query+" (NRA)", k, gotNRA, want)
@@ -155,7 +162,10 @@ func TestTAEarlyTermination(t *testing.T) {
 		t.Fatal(err)
 	}
 	ix := Build(doc, "item")
-	_, st := ix.TopKTA("gold silver", 5)
+	_, st, err := ix.TopKTA("gold silver", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := len(ix.Postings("gold")) + len(ix.Postings("silver"))
 	if st.SortedAccesses >= total {
 		t.Fatalf("TA did not terminate early: %d sorted accesses of %d postings", st.SortedAccesses, total)
@@ -179,15 +189,18 @@ func TestEmptyQueryAndUnknownScope(t *testing.T) {
 	if res := ix.TopKScan("", 3); len(res) != 0 {
 		t.Fatalf("empty query answers = %d", len(res))
 	}
-	if res, _ := ix.TopKTA("", 3); len(res) != 0 {
-		t.Fatalf("empty TA answers = %d", len(res))
+	if _, _, err := ix.TopKTA("", 3); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("empty TA query error = %v, want ErrBadQuery", err)
+	}
+	if _, _, err := ix.TopKTA("gold", 0); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("k=0 TA error = %v, want ErrBadQuery", err)
 	}
 	doc, _ := xmltree.ParseString(shopXML)
 	empty := Build(doc, "nothing")
 	if empty.Scopes() != 0 {
 		t.Fatal("unknown scope should index nothing")
 	}
-	if res, _ := empty.TopKTA("gold", 3); len(res) != 0 {
-		t.Fatal("empty index should answer nothing")
+	if res, _, err := empty.TopKTA("gold", 3); err != nil || len(res) != 0 {
+		t.Fatalf("empty index should answer nothing without error, got %d answers, err %v", len(res), err)
 	}
 }

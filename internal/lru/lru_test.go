@@ -1,0 +1,190 @@
+package lru
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustCreate(t *testing.T, c *Cache[string, int], k string, v int) {
+	t.Helper()
+	got, hit, err := c.GetOrCreate(k, func() (int, error) { return v, nil })
+	if err != nil || hit || got != v {
+		t.Fatalf("GetOrCreate(%q) = %d, hit=%v, err=%v", k, got, hit, err)
+	}
+}
+
+func TestBasicsAndEviction(t *testing.T) {
+	c := New[string, int](2)
+	if c.Cap() != 2 {
+		t.Fatalf("cap = %d", c.Cap())
+	}
+	mustCreate(t, c, "a", 1)
+	mustCreate(t, c, "b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	// "a" was just used, so inserting "c" evicts "b".
+	mustCreate(t, c, "c", 3)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	// A re-requested evicted key rebuilds (miss).
+	v, hit, err := c.GetOrCreate("b", func() (int, error) { return 20, nil })
+	if err != nil || hit || v != 20 {
+		t.Fatalf("rebuild b = %d, hit=%v, err=%v", v, hit, err)
+	}
+}
+
+func TestHitReporting(t *testing.T) {
+	c := New[string, int](4)
+	mustCreate(t, c, "k", 9)
+	v, hit, err := c.GetOrCreate("k", func() (int, error) {
+		t.Fatal("builder must not run on a hit")
+		return 0, nil
+	})
+	if err != nil || !hit || v != 9 {
+		t.Fatalf("hit = %d, %v, %v", v, hit, err)
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	c := New[string, int](4)
+	boom := errors.New("boom")
+	_, _, err := c.GetOrCreate("k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed build left len = %d", c.Len())
+	}
+	v, hit, err := c.GetOrCreate("k", func() (int, error) { return 7, nil })
+	if err != nil || hit || v != 7 {
+		t.Fatalf("retry = %d, %v, %v", v, hit, err)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := New[string, int](4)
+	var builds atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.GetOrCreate("k", func() (int, error) {
+				builds.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("GetOrCreate = %d, %v", v, err)
+			}
+		}()
+	}
+	// Give every goroutine a chance to reach the cache.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder ran %d times, want 1", n)
+	}
+}
+
+func TestOtherKeysNotBlockedByInflightBuild(t *testing.T) {
+	c := New[string, int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.GetOrCreate("slow", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	// The slow build must not hold the cache lock.
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mustCreate(t, c, "fast", 2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("an unrelated key was blocked by an in-flight build")
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestBoundHoldsUnderConcurrency(t *testing.T) {
+	const capacity = 8
+	c := New[string, int](capacity)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				k := fmt.Sprintf("k%d", (i*200+j)%50)
+				_, _, _ = c.GetOrCreate(k, func() (int, error) { return j, nil })
+				if n := c.Len(); n > capacity {
+					t.Errorf("len %d exceeds capacity %d", n, capacity)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := c.Len(); n > capacity {
+		t.Fatalf("final len %d exceeds capacity %d", n, capacity)
+	}
+}
+
+func TestItems(t *testing.T) {
+	c := New[string, int](4)
+	mustCreate(t, c, "a", 1)
+	mustCreate(t, c, "b", 2)
+	items := c.Items()
+	if len(items) != 2 || items[0].Key != "b" || items[1].Key != "a" {
+		t.Fatalf("items = %+v", items)
+	}
+	// In-flight builds are skipped.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.GetOrCreate("slow", func() (int, error) {
+			close(started)
+			<-release
+			return 3, nil
+		})
+	}()
+	<-started
+	if items := c.Items(); len(items) != 2 {
+		t.Fatalf("in-flight build leaked into Items: %+v", items)
+	}
+	close(release)
+	wg.Wait()
+	if items := c.Items(); len(items) != 3 {
+		t.Fatalf("completed build missing from Items: %+v", items)
+	}
+}

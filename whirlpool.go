@@ -35,6 +35,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/index"
 	"repro/internal/keyword"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/relax"
 	"repro/internal/score"
@@ -85,6 +86,14 @@ type (
 	// MatchKind classifies an Explanation (exact, edge-generalized,
 	// promoted, deleted).
 	MatchKind = core.MatchKind
+	// TraceSink receives per-run observability events (routing
+	// decisions, prune-threshold trajectory, queue depth samples, match
+	// lifecycle counts); see internal/obs for ready-made sinks and
+	// Options.Trace to attach one.
+	TraceSink = obs.TraceSink
+	// EngineTotals is an engine's cumulative instrumentation across
+	// runs; see Engine.Totals.
+	EngineTotals = core.Totals
 )
 
 // Explanation kinds.
@@ -267,6 +276,11 @@ type Options struct {
 	// index scans; see Database.MarkovEstimator. Estimates only steer
 	// routing — answers are unaffected.
 	Estimator Estimator
+	// Trace, when non-nil, receives per-run observability events. The
+	// default (nil) leaves the hot path unchanged; a configured sink
+	// must be safe for concurrent use (Whirlpool-M emits from several
+	// goroutines).
+	Trace TraceSink
 }
 
 // Approximate returns the default options for approximate top-k matching
@@ -307,6 +321,7 @@ func (db *Database) NewEngine(q *Query, opts Options) (*Engine, error) {
 		Scorer:    scorer,
 		OpCost:    opts.OpCost,
 		Estimator: opts.Estimator,
+		Trace:     opts.Trace,
 	}
 	return core.New(db.ix, q, cfg)
 }
@@ -368,6 +383,11 @@ type KeywordIndex = keyword.Index
 
 // KeywordAnswer is one ranked keyword-search result.
 type KeywordAnswer = keyword.Answer
+
+// ErrBadKeywordQuery marks keyword-query validation failures (no
+// searchable words, non-positive k); test with errors.Is to map them to
+// client errors.
+var ErrBadKeywordQuery = keyword.ErrBadQuery
 
 // BuildKeywordIndex indexes the text under every element with scopeTag
 // (e.g. "item"): each such element becomes a candidate answer for

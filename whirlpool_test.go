@@ -332,7 +332,10 @@ func TestKeywordSearchFacade(t *testing.T) {
 	if ki.Scopes() != 120 {
 		t.Fatalf("scopes = %d", ki.Scopes())
 	}
-	ta, _ := ki.TopKTA("gold silver", 5)
+	ta, _, err := ki.TopKTA("gold silver", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	scan := ki.TopKScan("gold silver", 5)
 	if len(ta) != len(scan) {
 		t.Fatalf("TA %d vs scan %d answers", len(ta), len(scan))
