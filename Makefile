@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments experiments-full fuzz clean
+.PHONY: all build vet lint test race bench bench-micro experiments experiments-full fuzz clean
 
 all: build vet lint test race
 
@@ -24,8 +24,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One benchmark per paper table/figure plus engine micro-benchmarks.
+# Pinned core benchmark (XMark seed 1, Q2, k=15, Whirlpool-S) measured
+# unsharded and at 2/4/8 shards; writes BENCH_core.json for comparison
+# against the committed baseline.
 bench:
+	$(GO) run ./cmd/whirlbench -bench-json BENCH_core.json
+
+# One benchmark per paper table/figure plus engine micro-benchmarks.
+bench-micro:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure at reduced scale (minutes).

@@ -1,0 +1,62 @@
+// Command benchcheck asserts properties of a BENCH_core.json report
+// (written by `whirlbench -bench-json` / `make bench`). CI uses it to
+// gate on the sharded-execution speedup:
+//
+//	benchcheck -file BENCH_core.json -case shards-8 -min-speedup 2
+//
+// It exits non-zero with a diagnostic when the named case is missing or
+// slower than required.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	Cores int `json:"cores"`
+	Cases []struct {
+		Name    string  `json:"name"`
+		Shards  int     `json:"shards"`
+		NsPerOp int64   `json:"ns_per_op"`
+		Speedup float64 `json:"speedup"`
+	} `json:"cases"`
+}
+
+func main() {
+	var (
+		file       = flag.String("file", "BENCH_core.json", "benchmark report to check")
+		caseName   = flag.String("case", "shards-8", "case name to check")
+		minSpeedup = flag.Float64("min-speedup", 2, "required speedup over the single-engine baseline")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", *file, err))
+	}
+	for _, c := range rep.Cases {
+		if c.Name != *caseName {
+			continue
+		}
+		if c.Speedup < *minSpeedup {
+			fatal(fmt.Errorf("%s: case %s speedup %.2fx < required %.2fx (%d cores, %d ns/op)",
+				*file, c.Name, c.Speedup, *minSpeedup, rep.Cores, c.NsPerOp))
+		}
+		fmt.Printf("benchcheck: %s speedup %.2fx >= %.2fx (%d cores)\n",
+			c.Name, c.Speedup, *minSpeedup, rep.Cores)
+		return
+	}
+	fatal(fmt.Errorf("%s: no case named %q", *file, *caseName))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,8 @@
 //	whirlbench -full           # paper-scale parameters
 //	whirlbench -scale 0.1 -k 15 -opcost 200us -seed 7
 //	whirlbench -trace run.jsonl  # dump one run's engine events as JSONL
+//	whirlbench -shards 1,2,4,8   # sharded-execution scaling sweep
+//	whirlbench -bench-json BENCH_core.json   # pinned core benchmark → JSON
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -37,6 +41,9 @@ func main() {
 		opcost    = flag.Duration("opcost", 0, "synthetic per-operation cost (default 100µs)")
 		orders    = flag.Int("orders", 0, "static permutations to sweep (default all 120)")
 		trace     = flag.String("trace", "", "dump one representative run's engine events to FILE as JSONL and exit")
+		shards    = flag.String("shards", "", "comma-separated shard counts to sweep (e.g. 1,2,4,8) and exit")
+		benchJSON = flag.String("bench-json", "", "run the pinned core benchmark, write the JSON report to FILE and exit")
+		benchFast = flag.Bool("bench-short", false, "with -bench-json: smaller document and fewer rounds (CI short mode)")
 	)
 	flag.Parse()
 
@@ -63,11 +70,42 @@ func main() {
 		}
 		return
 	}
+	if *benchJSON != "" {
+		if err := bench.BenchCore(os.Stdout, *benchJSON, *benchFast); err != nil {
+			fmt.Fprintln(os.Stderr, "whirlbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shards != "" {
+		counts, err := parseCounts(*shards)
+		if err == nil {
+			err = bench.ShardSweep(os.Stdout, cfg, counts)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whirlbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(os.Stdout, cfg, *fig, *tableNo, *ablations); err != nil {
 		fmt.Fprintln(os.Stderr, "whirlbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseCounts parses the -shards list ("1,2,4,8").
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // dumpTrace runs one representative evaluation with a JSONL trace sink

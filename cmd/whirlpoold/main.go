@@ -25,7 +25,10 @@
 //
 // Engines and keyword indexes are cached per request signature in
 // LRU caches bounded by -cache; -access-log emits one structured JSON
-// line per request to stderr.
+// line per request to stderr. -shards N partitions the document into N
+// shards at startup: every query then runs one engine per shard in
+// parallel, all pruning against a shared top-k set, and /stats gains a
+// per-shard breakdown.
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache", defaultCacheSize, "max cached engines / keyword indexes (LRU)")
 		accessLog = flag.Bool("access-log", false, "log one structured JSON line per request to stderr")
+		shards    = flag.Int("shards", 1, "partition the document into N shards evaluated in parallel per query")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -60,12 +64,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := serverOptions{CacheSize: *cacheSize}
+	opts := serverOptions{CacheSize: *cacheSize, Shards: *shards}
 	if *accessLog {
 		opts.AccessLog = log.New(os.Stderr, "", 0)
 	}
-	srv := newServer(db, opts)
-	log.Printf("whirlpoold: serving %s (%d nodes) on %s", *file, db.Size(), *addr)
+	srv, err := newServer(db, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shards > 1 {
+		log.Printf("whirlpoold: serving %s (%d nodes, %d shards) on %s", *file, db.Size(), *shards, *addr)
+	} else {
+		log.Printf("whirlpoold: serving %s (%d nodes) on %s", *file, db.Size(), *addr)
+	}
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}

@@ -28,7 +28,11 @@ const defaultCacheSize = 256
 // for the same cache key (per-key singleflight), never the rest of the
 // serving path.
 type server struct {
-	db        *whirlpool.Database
+	db *whirlpool.Database
+	// sdb, when non-nil, routes every /query through sharded execution:
+	// engines are built over the partition and run one goroutine per
+	// shard against a shared top-k set.
+	sdb       *whirlpool.ShardedDatabase
 	mux       *http.ServeMux
 	reg       *obs.Registry
 	started   time.Time
@@ -44,11 +48,47 @@ type server struct {
 }
 
 // engineEntry is one cached (query, options) signature: the prepared
-// engine and its parsed query (needed to label bindings in responses).
+// engine — single or sharded, exactly one is set — and its parsed query
+// (needed to label bindings in responses).
 type engineEntry struct {
-	key string
-	eng *whirlpool.Engine
-	q   *whirlpool.Query
+	key     string
+	eng     *whirlpool.Engine
+	sharded *whirlpool.ShardedEngine
+	q       *whirlpool.Query
+}
+
+func (e *engineEntry) run(ctx context.Context) (*whirlpool.Result, error) {
+	if e.sharded != nil {
+		return e.sharded.RunContext(ctx)
+	}
+	return e.eng.RunContext(ctx)
+}
+
+// totals aggregates the entry's cumulative instrumentation. For a
+// sharded entry, operation counters sum across shards, Runs/Aborted are
+// per-run (every shard runs once per query, so the max is the count) and
+// Duration is the summed per-shard engine time — CPU time, not wall
+// clock.
+func (e *engineEntry) totals() whirlpool.EngineTotals {
+	if e.sharded == nil {
+		return e.eng.Totals()
+	}
+	var out whirlpool.EngineTotals
+	for _, st := range e.sharded.ShardTotals() {
+		if st.Totals.Runs > out.Runs {
+			out.Runs = st.Totals.Runs
+		}
+		if st.Totals.Aborted > out.Aborted {
+			out.Aborted = st.Totals.Aborted
+		}
+		out.ServerOps += st.Totals.ServerOps
+		out.JoinComparisons += st.Totals.JoinComparisons
+		out.MatchesCreated += st.Totals.MatchesCreated
+		out.Pruned += st.Totals.Pruned
+		out.PrunedRemote += st.Totals.PrunedRemote
+		out.Duration += st.Totals.Duration
+	}
+	return out
 }
 
 // serverOptions configures newServer.
@@ -59,9 +99,13 @@ type serverOptions struct {
 	// AccessLog, when non-nil, receives one structured JSON line per
 	// request.
 	AccessLog *log.Logger
+	// Shards above 1 partitions the document into that many shards at
+	// startup and evaluates every /query with one engine per shard
+	// pruning against a shared top-k set.
+	Shards int
 }
 
-func newServer(db *whirlpool.Database, opts serverOptions) *server {
+func newServer(db *whirlpool.Database, opts serverOptions) (*server, error) {
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = defaultCacheSize
 	}
@@ -74,12 +118,20 @@ func newServer(db *whirlpool.Database, opts serverOptions) *server {
 		engines:   lru.New[string, *engineEntry](opts.CacheSize),
 		kwIdx:     lru.New[string, *whirlpool.KeywordIndex](opts.CacheSize),
 	}
+	if opts.Shards > 1 {
+		sdb, err := db.Shard(opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		sdb.ObserveInto(s.reg)
+		s.sdb = sdb
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/keyword", s.handleKeyword)
-	return s
+	return s, nil
 }
 
 // reqInfo carries per-request annotations from handlers back to the
@@ -170,21 +222,34 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // engineStats is one engine's cumulative instrumentation in /stats.
 type engineStats struct {
-	Key             string  `json:"key"`
-	Runs            int64   `json:"runs"`
-	Aborted         int64   `json:"aborted,omitempty"`
-	ServerOps       int64   `json:"server_ops"`
-	JoinComparisons int64   `json:"join_comparisons"`
-	MatchesCreated  int64   `json:"matches_created"`
-	Pruned          int64   `json:"pruned"`
-	TotalMS         float64 `json:"total_ms"`
+	Key             string       `json:"key"`
+	Runs            int64        `json:"runs"`
+	Aborted         int64        `json:"aborted,omitempty"`
+	ServerOps       int64        `json:"server_ops"`
+	JoinComparisons int64        `json:"join_comparisons"`
+	MatchesCreated  int64        `json:"matches_created"`
+	Pruned          int64        `json:"pruned"`
+	PrunedRemote    int64        `json:"pruned_remote,omitempty"`
+	TotalMS         float64      `json:"total_ms"`
+	Shards          []shardStats `json:"shards,omitempty"`
+}
+
+// shardStats is one shard engine's share of a sharded entry's totals.
+type shardStats struct {
+	Shard          int     `json:"shard"`
+	Runs           int64   `json:"runs"`
+	ServerOps      int64   `json:"server_ops"`
+	MatchesCreated int64   `json:"matches_created"`
+	Pruned         int64   `json:"pruned"`
+	PrunedRemote   int64   `json:"pruned_remote"`
+	TotalMS        float64 `json:"total_ms"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	engines := make([]engineStats, 0, s.engines.Len())
 	for _, it := range s.engines.Items() {
-		tot := it.Value.eng.Totals()
-		engines = append(engines, engineStats{
+		tot := it.Value.totals()
+		es := engineStats{
 			Key:             it.Key,
 			Runs:            tot.Runs,
 			Aborted:         tot.Aborted,
@@ -192,10 +257,25 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			JoinComparisons: tot.JoinComparisons,
 			MatchesCreated:  tot.MatchesCreated,
 			Pruned:          tot.Pruned,
+			PrunedRemote:    tot.PrunedRemote,
 			TotalMS:         float64(tot.Duration.Microseconds()) / 1000,
-		})
+		}
+		if it.Value.sharded != nil {
+			for _, st := range it.Value.sharded.ShardTotals() {
+				es.Shards = append(es.Shards, shardStats{
+					Shard:          st.Shard,
+					Runs:           st.Totals.Runs,
+					ServerOps:      st.Totals.ServerOps,
+					MatchesCreated: st.Totals.MatchesCreated,
+					Pruned:         st.Totals.Pruned,
+					PrunedRemote:   st.Totals.PrunedRemote,
+					TotalMS:        float64(st.Totals.Duration.Microseconds()) / 1000,
+				})
+			}
+		}
+		engines = append(engines, es)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"nodes":    s.db.Size(),
 		"roots":    len(s.db.Document().Roots),
 		"uptime_s": time.Since(s.started).Seconds(),
@@ -204,7 +284,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"keyword": map[string]int{"len": s.kwIdx.Len(), "cap": s.kwIdx.Cap()},
 		},
 		"engines": engines,
-	})
+	}
+	if s.sdb != nil {
+		parts, spine := s.sdb.Layout()
+		stats["sharding"] = map[string]any{
+			"shards":      s.sdb.Shards(),
+			"spine_nodes": spine,
+			"layout":      parts,
+		}
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // handleMetrics serves the registry: JSON by default, Prometheus text
@@ -252,12 +341,13 @@ type queryAnswer struct {
 }
 
 type queryResponse struct {
-	Answers   []queryAnswer `json:"answers"`
-	ServerOps int64         `json:"server_ops"`
-	Matches   int64         `json:"matches_created"`
-	Pruned    int64         `json:"pruned"`
-	TookMS    float64       `json:"took_ms"`
-	Cache     string        `json:"cache"`
+	Answers      []queryAnswer `json:"answers"`
+	ServerOps    int64         `json:"server_ops"`
+	Matches      int64         `json:"matches_created"`
+	Pruned       int64         `json:"pruned"`
+	PrunedRemote int64         `json:"pruned_remote,omitempty"`
+	TookMS       float64       `json:"took_ms"`
+	Cache        string        `json:"cache"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -296,7 +386,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := ent.eng.RunContext(ctx)
+	res, err := ent.run(ctx)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -311,15 +401,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("whirlpoold_engine_server_ops_total").Add(res.Stats.ServerOps)
 	s.reg.Counter("whirlpoold_engine_matches_created_total").Add(res.Stats.MatchesCreated)
 	s.reg.Counter("whirlpoold_engine_matches_pruned_total").Add(res.Stats.Pruned)
+	s.reg.Counter("whirlpoold_engine_pruned_remote_total").Add(res.Stats.PrunedRemote)
 	s.reg.Histogram("whirlpoold_query_duration_us").Observe(res.Stats.Duration.Microseconds())
 
 	resp := queryResponse{
-		Answers:   make([]queryAnswer, 0, len(res.Answers)),
-		ServerOps: res.Stats.ServerOps,
-		Matches:   res.Stats.MatchesCreated,
-		Pruned:    res.Stats.Pruned,
-		TookMS:    float64(res.Stats.Duration.Microseconds()) / 1000,
-		Cache:     ri.cache,
+		Answers:      make([]queryAnswer, 0, len(res.Answers)),
+		ServerOps:    res.Stats.ServerOps,
+		Matches:      res.Stats.MatchesCreated,
+		Pruned:       res.Stats.Pruned,
+		PrunedRemote: res.Stats.PrunedRemote,
+		TookMS:       float64(res.Stats.Duration.Microseconds()) / 1000,
+		Cache:        ri.cache,
 	}
 	for _, a := range res.Answers {
 		qa := queryAnswer{
@@ -368,6 +460,13 @@ func (s *server) engineFor(req queryRequest) (*engineEntry, bool, error) {
 		q, err := whirlpool.ParseQuery(req.Query)
 		if err != nil {
 			return nil, err
+		}
+		if s.sdb != nil {
+			engs, err := s.sdb.NewEngine(q, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &engineEntry{key: key, sharded: engs, q: q}, nil
 		}
 		eng, err := s.db.NewEngine(q, opts)
 		if err != nil {

@@ -27,7 +27,11 @@ func testServerOpts(t *testing.T, opts serverOptions) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(db, opts)
+	s, err := newServer(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func post(t *testing.T, s *server, path string, body any) *httptest.ResponseRecorder {
@@ -535,5 +539,76 @@ func TestQueryTimeout(t *testing.T) {
 	w := post(t, s, "/query", queryRequest{Query: "//item[./mailbox/mail/text[./bold and ./keyword] and ./name]", K: 15, TimeoutMS: 1})
 	if w.Code != 200 && w.Code != http.StatusGatewayTimeout {
 		t.Fatalf("timeout query: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestShardedServing(t *testing.T) {
+	s := testServerOpts(t, serverOptions{Shards: 4})
+	base := testServer(t)
+
+	req := queryRequest{Query: "//item[./description/parlist and ./mailbox/mail/text]", K: 5}
+	w := post(t, s, "/query", req)
+	if w.Code != 200 {
+		t.Fatalf("sharded query: %d %s", w.Code, w.Body.String())
+	}
+	var got, want queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	bw := post(t, base, "/query", req)
+	if err := json.Unmarshal(bw.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != len(want.Answers) {
+		t.Fatalf("sharded answers = %d, unsharded %d", len(got.Answers), len(want.Answers))
+	}
+	for i := range want.Answers {
+		if got.Answers[i].Score != want.Answers[i].Score {
+			t.Fatalf("answer %d: sharded score %v, unsharded %v",
+				i, got.Answers[i].Score, want.Answers[i].Score)
+		}
+	}
+
+	// /stats carries the sharding layout and a per-shard breakdown for
+	// the cached engine.
+	sw := get(t, s, "/stats")
+	if sw.Code != 200 {
+		t.Fatalf("stats: %d", sw.Code)
+	}
+	var stats struct {
+		Sharding struct {
+			Shards int `json:"shards"`
+			Layout []struct {
+				Shard     int `json:"shard"`
+				NodeCount int `json:"node_count"`
+			} `json:"layout"`
+		} `json:"sharding"`
+		Engines []engineStats `json:"engines"`
+	}
+	if err := json.Unmarshal(sw.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sharding.Shards != 4 || len(stats.Sharding.Layout) != 4 {
+		t.Fatalf("sharding section = %+v", stats.Sharding)
+	}
+	if len(stats.Engines) != 1 {
+		t.Fatalf("engines = %d, want 1", len(stats.Engines))
+	}
+	es := stats.Engines[0]
+	if es.Runs != 1 || len(es.Shards) == 0 {
+		t.Fatalf("engine stats = %+v", es)
+	}
+	var ops int64
+	for _, sh := range es.Shards {
+		ops += sh.ServerOps
+	}
+	if ops != es.ServerOps {
+		t.Fatalf("per-shard ops sum %d, engine total %d", ops, es.ServerOps)
+	}
+
+	// Per-shard metrics reached the registry.
+	mw := get(t, s, "/metrics?format=prometheus")
+	if !strings.Contains(mw.Body.String(), "whirlpool_shard_server_ops_total") {
+		t.Fatal("metrics missing per-shard counters")
 	}
 }

@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// ShardSweep measures sharded top-k execution against the single-engine
+// baseline for each shard count: one engine per shard, all pruning
+// against a shared global top-k set, merged deterministically. OpCost is
+// forced to zero — the sweep is about real parallel speedup, not
+// simulated operation latency. Wall-clock speedup is bounded by
+// runtime.NumCPU; the cross-shard counters (pruned-remote) and skew are
+// hardware-independent shape checks.
+func ShardSweep(out io.Writer, cfg Config, counts []int) error {
+	cfg = cfg.withDefaults()
+	cfg.OpCost = 0
+	env, err := NewEnv(cfg.Seed, cfg.bytesFor(Doc10MB), cfg.Norm)
+	if err != nil {
+		return err
+	}
+	w := Q2
+	fmt.Fprintf(out, "Shard sweep: %s over %d bytes, k=%d, %d cores\n",
+		w.XPath, env.Bytes, cfg.K, runtime.NumCPU())
+	tb := newTable(out, "shards", "wall", "speedup", "created", "pruned", "pruned-remote", "skew")
+	var base time.Duration
+	for _, p := range counts {
+		m, err := measureShards(env, w, cfg, p, 3)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = m.wall
+		}
+		tb.addf("%d | %s | %.2fx | %d | %d | %d | %.2f",
+			p, ms(m.wall), float64(base)/float64(m.wall),
+			m.stats.MatchesCreated, m.stats.Pruned, m.stats.PrunedRemote, m.skew)
+	}
+	tb.flush()
+	return nil
+}
+
+// shardMeasure is one measured configuration: best-of-N wall clock plus
+// the counters and per-shard skew of one instrumented run.
+type shardMeasure struct {
+	wall  time.Duration
+	stats core.Stats
+	skew  float64 // slowest shard / mean shard duration (1.0 when unsharded)
+	depth int     // peak queue depth across all shards
+}
+
+// runner abstracts the single and sharded engines for measurement.
+type benchRunner interface {
+	Run() (*core.Result, error)
+}
+
+// measureShards prepares the engine(s) for p shards (p ≤ 1 = the
+// unsharded baseline) and returns best-of-rounds wall clock plus one
+// instrumented run's counters.
+func measureShards(env *Env, w Workload, cfg Config, p int, rounds int) (*shardMeasure, error) {
+	base := baseConfig(cfg, env, w, core.WhirlpoolS)
+	base.OpCost = cfg.OpCost
+	build := func(c core.Config) (benchRunner, error) {
+		if p <= 1 {
+			return core.New(env.Ix, env.Query(w), c)
+		}
+		corpus, err := shard.Split(env.Doc, p)
+		if err != nil {
+			return nil, err
+		}
+		return corpus.NewEngines(env.Query(w), c)
+	}
+	eng, err := build(base)
+	if err != nil {
+		return nil, err
+	}
+	m := &shardMeasure{}
+	for i := 0; i < rounds+1; i++ {
+		start := time.Now()
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		if i == 0 {
+			continue // warm-up: first run pays cache and scheduler setup
+		}
+		if m.wall == 0 || wall < m.wall {
+			m.wall = wall
+		}
+		m.stats = res.Stats
+	}
+	// One instrumented run on a separate engine: the depth sink adds
+	// hot-path work, so it must not pollute the timed runs.
+	sink := &depthSink{}
+	traced := base
+	traced.Trace = sink
+	teng, err := build(traced)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := teng.Run(); err != nil {
+		return nil, err
+	}
+	m.depth = sink.peakDepth()
+	m.skew = sink.skew()
+	return m, nil
+}
+
+// depthSink is a minimal TraceSink recording the peak queue depth and,
+// via ShardRun, per-shard durations for the skew measure.
+type depthSink struct {
+	mu     sync.Mutex
+	peak   int
+	shards []time.Duration
+}
+
+func (d *depthSink) RunStart(obs.RunInfo)              {}
+func (d *depthSink) RouteDecision(int64, int)          {}
+func (d *depthSink) Threshold(float64)                 {}
+func (d *depthSink) MatchLifecycle(obs.Lifecycle, int) {}
+func (d *depthSink) RunEnd(obs.RunSummary)             {}
+
+func (d *depthSink) QueueDepth(server, depth int) {
+	d.mu.Lock()
+	if depth > d.peak {
+		d.peak = depth
+	}
+	d.mu.Unlock()
+}
+
+func (d *depthSink) ShardRun(shard int, sum obs.RunSummary) {
+	d.mu.Lock()
+	d.shards = append(d.shards, time.Duration(sum.DurationUS)*time.Microsecond)
+	d.mu.Unlock()
+}
+
+func (d *depthSink) peakDepth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peak
+}
+
+func (d *depthSink) skew() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.shards) == 0 {
+		return 1
+	}
+	var sum, max time.Duration
+	for _, s := range d.shards {
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := sum / time.Duration(len(d.shards))
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / float64(mean)
+}
+
+// benchCase is one measured configuration in BENCH_core.json.
+type benchCase struct {
+	Name           string  `json:"name"`
+	Shards         int     `json:"shards"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+	MatchesCreated int64   `json:"matches_created"`
+	Pruned         int64   `json:"pruned"`
+	PrunedRemote   int64   `json:"pruned_remote"`
+	PeakQueueDepth int     `json:"peak_queue_depth"`
+	ShardSkew      float64 `json:"shard_skew"`
+}
+
+// benchReport is the BENCH_core.json schema: one pinned workload
+// (seed 1, Q2, k=15, all relaxations, Whirlpool-S, zero synthetic op
+// cost) measured unsharded and sharded. Absolute ns/op and speedup
+// depend on the host — cores records how many were available.
+type benchReport struct {
+	Query     string      `json:"query"`
+	Seed      int64       `json:"seed"`
+	K         int         `json:"k"`
+	Algorithm string      `json:"algorithm"`
+	DocBytes  int         `json:"doc_bytes"`
+	Short     bool        `json:"short"`
+	Cores     int         `json:"cores"`
+	GoVersion string      `json:"go_version"`
+	Cases     []benchCase `json:"cases"`
+}
+
+// BenchCore runs the pinned core benchmark and writes the JSON report to
+// path (see benchReport). short shrinks the document and rounds for CI's
+// short mode; the schema is identical.
+func BenchCore(out io.Writer, path string, short bool) error {
+	cfg := Config{Seed: 1, K: 15, OpCost: -1}.withDefaults()
+	cfg.OpCost = 0
+	target, rounds := 8<<20, 5
+	if short {
+		target, rounds = 2<<20, 3
+	}
+	env, err := NewEnv(cfg.Seed, target, cfg.Norm)
+	if err != nil {
+		return err
+	}
+	w := Q2
+	rep := benchReport{
+		Query:     w.XPath,
+		Seed:      cfg.Seed,
+		K:         cfg.K,
+		Algorithm: "whirlpool-s",
+		DocBytes:  env.Bytes,
+		Short:     short,
+		Cores:     runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	var base time.Duration
+	for _, p := range []int{1, 2, 4, 8} {
+		m, err := measureShards(env, w, cfg, p, rounds)
+		if err != nil {
+			return err
+		}
+		if p == 1 {
+			base = m.wall
+		}
+		name := "single"
+		if p > 1 {
+			name = fmt.Sprintf("shards-%d", p)
+		}
+		rep.Cases = append(rep.Cases, benchCase{
+			Name:           name,
+			Shards:         p,
+			NsPerOp:        m.wall.Nanoseconds(),
+			Speedup:        float64(base) / float64(m.wall),
+			MatchesCreated: m.stats.MatchesCreated,
+			Pruned:         m.stats.Pruned,
+			PrunedRemote:   m.stats.PrunedRemote,
+			PeakQueueDepth: m.depth,
+			ShardSkew:      m.skew,
+		})
+		fmt.Fprintf(out, "bench: %-8s %12d ns/op  %.2fx  created=%d pruned=%d remote=%d depth=%d\n",
+			name, m.wall.Nanoseconds(), float64(base)/float64(m.wall),
+			m.stats.MatchesCreated, m.stats.Pruned, m.stats.PrunedRemote, m.depth)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: report written to %s (%d cores)\n", path, rep.Cores)
+	return nil
+}

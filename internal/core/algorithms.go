@@ -110,7 +110,7 @@ func (r *run) runLockStep(prune bool) {
 	if !prune {
 		// All survivors are complete; select the k best now.
 		for _, m := range alive {
-			r.topk.offer(m)
+			r.topk.offer(m, r.shardID)
 		}
 	}
 }

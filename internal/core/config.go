@@ -189,6 +189,12 @@ type Stats struct {
 	MatchesCreated int64
 	// Pruned counts partial matches discarded against the top-k set.
 	Pruned int64
+	// PrunedRemote counts the subset of Pruned discarded while the
+	// threshold was owned by another shard's entry — matches this run
+	// never had to finish because a different shard of a sharded
+	// evaluation found a better answer first. Always 0 for standalone
+	// runs.
+	PrunedRemote int64
 	// Duration is the wall-clock query execution time.
 	Duration time.Duration
 }

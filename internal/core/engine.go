@@ -61,6 +61,7 @@ type engineTotals struct {
 	joinComparisons atomic.Int64
 	matchesCreated  atomic.Int64
 	pruned          atomic.Int64
+	prunedRemote    atomic.Int64
 	durationNS      atomic.Int64
 }
 
@@ -70,6 +71,7 @@ func (t *engineTotals) add(s Stats) {
 	t.joinComparisons.Add(s.JoinComparisons)
 	t.matchesCreated.Add(s.MatchesCreated)
 	t.pruned.Add(s.Pruned)
+	t.prunedRemote.Add(s.PrunedRemote)
 	t.durationNS.Add(int64(s.Duration))
 }
 
@@ -84,6 +86,7 @@ type Totals struct {
 	JoinComparisons int64
 	MatchesCreated  int64
 	Pruned          int64
+	PrunedRemote    int64
 	Duration        time.Duration
 }
 
@@ -97,6 +100,7 @@ func (e *Engine) Totals() Totals {
 		JoinComparisons: e.totals.joinComparisons.Load(),
 		MatchesCreated:  e.totals.matchesCreated.Load(),
 		Pruned:          e.totals.pruned.Load(),
+		PrunedRemote:    e.totals.prunedRemote.Load(),
 		Duration:        time.Duration(e.totals.durationNS.Load()),
 	}
 }
@@ -172,13 +176,33 @@ func (e *Engine) Run() (*Result, error) { return e.RunContext(context.Background
 // evaluation winds down promptly and ctx's error is returned (any
 // partial result is discarded).
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
-	if err := ctx.Err(); err != nil {
+	shared := NewSharedTopK(e.cfg.K, e.cfg.Threshold)
+	stats, err := e.RunShared(ctx, shared, 0)
+	if err != nil {
 		return nil, err
 	}
+	return &Result{Answers: shared.Answers(), Stats: stats}, nil
+}
+
+// RunShared executes the configured algorithm against a caller-supplied
+// top-k set, offering guaranteed scores into it and pruning against its
+// threshold. It is the building block of sharded execution: several
+// engines over disjoint data shards run concurrently against one
+// SharedTopK (each with a distinct shardID for prune attribution), and
+// the set's Answers — not any single run's — are the merged result.
+// The set's capacity must equal the engine's Config.K.
+func (e *Engine) RunShared(ctx context.Context, shared *SharedTopK, shardID int) (Stats, error) {
+	if shared.set.k != e.cfg.K {
+		return Stats{}, fmt.Errorf("core: shared top-k capacity %d != Config.K %d", shared.set.k, e.cfg.K)
+	}
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
 	r := &run{
-		Engine: e,
-		topk:   newTopkSet(e.cfg.K, e.cfg.Threshold, e.cfg.Threshold > 0),
-		ctx:    ctx,
+		Engine:  e,
+		topk:    shared.set,
+		shardID: int32(shardID),
+		ctx:     ctx,
 	}
 	r.lastThreshold.Store(math.Float64bits(math.Inf(-1)))
 	if t := e.cfg.Trace; t != nil {
@@ -201,7 +225,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	case LockStepNoPrune:
 		r.runLockStep(false)
 	default:
-		return nil, fmt.Errorf("core: unknown algorithm %d", e.cfg.Algorithm)
+		return Stats{}, fmt.Errorf("core: unknown algorithm %d", e.cfg.Algorithm)
 	}
 	stats := r.stats.snapshot()
 	stats.Duration = time.Since(start)
@@ -210,15 +234,13 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		if t := e.cfg.Trace; t != nil {
 			t.RunEnd(runSummary(stats, 0, true))
 		}
-		return nil, err
+		return Stats{}, err
 	}
-	res := &Result{Answers: r.topk.answers()}
-	res.Stats = stats
 	e.totals.add(stats)
 	if t := e.cfg.Trace; t != nil {
-		t.RunEnd(runSummary(stats, len(res.Answers), false))
+		t.RunEnd(runSummary(stats, len(shared.set.answers()), false))
 	}
-	return res, nil
+	return stats, nil
 }
 
 func runSummary(s Stats, answers int, aborted bool) obs.RunSummary {
@@ -227,6 +249,7 @@ func runSummary(s Stats, answers int, aborted bool) obs.RunSummary {
 		JoinComparisons: s.JoinComparisons,
 		MatchesCreated:  s.MatchesCreated,
 		Pruned:          s.Pruned,
+		PrunedRemote:    s.PrunedRemote,
 		Answers:         answers,
 		DurationUS:      s.Duration.Microseconds(),
 		Aborted:         aborted,

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/relax"
+	"repro/internal/score"
 	"repro/internal/xmltree"
 )
 
@@ -24,21 +28,21 @@ func TestTopkSetBasics(t *testing.T) {
 	if _, ok := tk.threshold(); ok {
 		t.Fatal("empty set should have no threshold")
 	}
-	tk.offer(mkMatch(1, 0.5, 1))
+	tk.offer(mkMatch(1, 0.5, 1), 0)
 	if _, ok := tk.threshold(); ok {
 		t.Fatal("one of two entries should not yield a threshold")
 	}
-	tk.offer(mkMatch(2, 0.8, 2))
+	tk.offer(mkMatch(2, 0.8, 2), 0)
 	if v, ok := tk.threshold(); !ok || v != 0.5 {
 		t.Fatalf("threshold = %v, %v", v, ok)
 	}
 	// Better score for an existing root raises it.
-	tk.offer(mkMatch(1, 0.9, 3))
+	tk.offer(mkMatch(1, 0.9, 3), 0)
 	if v, _ := tk.threshold(); v != 0.8 {
 		t.Fatalf("threshold after update = %v", v)
 	}
 	// A new root displacing the weakest.
-	tk.offer(mkMatch(3, 1.0, 4))
+	tk.offer(mkMatch(3, 1.0, 4), 0)
 	if v, _ := tk.threshold(); v != 0.9 {
 		t.Fatalf("threshold after displacement = %v", v)
 	}
@@ -50,9 +54,9 @@ func TestTopkSetBasics(t *testing.T) {
 
 func TestTopkSetOnePerRoot(t *testing.T) {
 	tk := newTopkSet(3, 0, false)
-	tk.offer(mkMatch(7, 0.5, 1))
-	tk.offer(mkMatch(7, 0.7, 2))
-	tk.offer(mkMatch(7, 0.6, 3)) // worse than best, ignored
+	tk.offer(mkMatch(7, 0.5, 1), 0)
+	tk.offer(mkMatch(7, 0.7, 2), 0)
+	tk.offer(mkMatch(7, 0.6, 3), 0) // worse than best, ignored
 	ans := tk.answers()
 	if len(ans) != 1 || ans[0].Score != 0.7 {
 		t.Fatalf("answers = %v", ans)
@@ -65,14 +69,14 @@ func TestTopkSetFloor(t *testing.T) {
 		t.Fatalf("seeded threshold = %v, %v", v, ok)
 	}
 	// Entries below the floor do not lower it.
-	tk.offer(mkMatch(1, 0.2, 1))
-	tk.offer(mkMatch(2, 0.3, 2))
+	tk.offer(mkMatch(1, 0.2, 1), 0)
+	tk.offer(mkMatch(2, 0.3, 2), 0)
 	if v, _ := tk.threshold(); v != 0.9 {
 		t.Fatalf("floored threshold = %v", v)
 	}
 	// A full set above the floor overrides it.
-	tk.offer(mkMatch(3, 1.2, 3))
-	tk.offer(mkMatch(4, 1.1, 4))
+	tk.offer(mkMatch(3, 1.2, 3), 0)
+	tk.offer(mkMatch(4, 1.1, 4), 0)
 	if v, _ := tk.threshold(); v != 1.1 {
 		t.Fatalf("threshold = %v", v)
 	}
@@ -80,9 +84,9 @@ func TestTopkSetFloor(t *testing.T) {
 
 func TestTopkSetEvictedRootCanReturn(t *testing.T) {
 	tk := newTopkSet(1, 0, false)
-	tk.offer(mkMatch(1, 0.5, 1))
-	tk.offer(mkMatch(2, 0.8, 2)) // evicts root 1
-	tk.offer(mkMatch(1, 0.9, 3)) // root 1 returns with a better score
+	tk.offer(mkMatch(1, 0.5, 1), 0)
+	tk.offer(mkMatch(2, 0.8, 2), 0) // evicts root 1
+	tk.offer(mkMatch(1, 0.9, 3), 0) // root 1 returns with a better score
 	ans := tk.answers()
 	if len(ans) != 1 || ans[0].Root.Ord != 1 || ans[0].Score != 0.9 {
 		t.Fatalf("answers = %v", ans)
@@ -91,11 +95,164 @@ func TestTopkSetEvictedRootCanReturn(t *testing.T) {
 
 func TestTopkSetDeterministicTieBreak(t *testing.T) {
 	tk := newTopkSet(1, 0, false)
-	tk.offer(mkMatch(5, 0.5, 1))
-	tk.offer(mkMatch(2, 0.5, 2)) // same score, smaller root ord wins
+	tk.offer(mkMatch(5, 0.5, 1), 0)
+	tk.offer(mkMatch(2, 0.5, 2), 0) // same score, smaller root ord wins
 	ans := tk.answers()
 	if ans[0].Root.Ord != 2 {
 		t.Fatalf("tie break picked root %d", ans[0].Root.Ord)
+	}
+}
+
+// mkBoundMatch is mkMatch with extra non-root bindings, for tie-break
+// tests that need distinct binding vectors at equal scores. Matches for
+// one root share the root node pointer, as they do in a real run.
+func mkBoundMatch(root *xmltree.Node, score float64, others ...*xmltree.Node) *match {
+	return &match{
+		bindings: append([]*xmltree.Node{root}, others...),
+		visited:  1,
+		score:    score,
+		maxFinal: score,
+		seq:      1,
+	}
+}
+
+func TestTopkSetEqualScoreKeepsDocOrderBindings(t *testing.T) {
+	root := &xmltree.Node{Tag: "r", Ord: 1}
+	early := &xmltree.Node{Tag: "a", Ord: 3}
+	late := &xmltree.Node{Tag: "a", Ord: 9}
+	// Regardless of arrival order, the kept representative for a root at
+	// an equal score is the bindings vector earliest in document order.
+	for _, first := range []*xmltree.Node{early, late} {
+		second := late
+		if first == late {
+			second = early
+		}
+		tk := newTopkSet(1, 0, false)
+		tk.offer(mkBoundMatch(root, 0.5, first), 0)
+		tk.offer(mkBoundMatch(root, 0.5, second), 0)
+		ans := tk.answers()
+		if len(ans) != 1 || ans[0].Bindings[1] != early {
+			t.Fatalf("first ord %d: kept binding ord %d, want ord 3", first.Ord, ans[0].Bindings[1].Ord)
+		}
+	}
+	// nil (relaxed-away) sorts after any bound node.
+	tk := newTopkSet(1, 0, false)
+	tk.offer(mkBoundMatch(root, 0.5, nil), 0)
+	tk.offer(mkBoundMatch(root, 0.5, late), 0)
+	if ans := tk.answers(); ans[0].Bindings[1] != late {
+		t.Fatalf("kept %v, want bound node over nil", ans[0].Bindings[1])
+	}
+}
+
+func TestTopkSetThresholdSource(t *testing.T) {
+	tk := newTopkSet(2, 0, false)
+	if src := tk.thresholdSrc(); src != -1 {
+		t.Fatalf("empty set source = %d, want -1", src)
+	}
+	tk.offer(mkMatch(1, 0.5, 1), 3)
+	tk.offer(mkMatch(2, 0.8, 2), 4) // fills the set: k-th is shard 3's 0.5
+	if src := tk.thresholdSrc(); src != 4 {
+		// The offer that completed the set published the threshold.
+		t.Fatalf("source after fill = %d, want 4", src)
+	}
+	tk.offer(mkMatch(3, 1.0, 3), 5) // displaces 0.5; threshold rises to 0.8
+	if src := tk.thresholdSrc(); src != 5 {
+		t.Fatalf("source after displacement = %d, want 5", src)
+	}
+	// An offer that does not move the threshold keeps the attribution.
+	tk.offer(mkMatch(4, 0.1, 4), 6)
+	if src := tk.thresholdSrc(); src != 5 {
+		t.Fatalf("source after no-op offer = %d, want 5", src)
+	}
+}
+
+func TestTopkSetFloorSourceStaysRemoteless(t *testing.T) {
+	tk := newTopkSet(1, 2.0, true)
+	tk.offer(mkMatch(1, 0.5, 1), 7)
+	if v, _ := tk.threshold(); v != 2.0 {
+		t.Fatalf("threshold = %v, want floor", v)
+	}
+	if src := tk.thresholdSrc(); src != -1 {
+		t.Fatalf("floor-governed source = %d, want -1", src)
+	}
+}
+
+// TestTopkSetThresholdMonotone hammers the lock-free threshold cache
+// from concurrent offerers and checks it never decreases.
+func TestTopkSetThresholdMonotone(t *testing.T) {
+	tk := newTopkSet(3, 0, false)
+	stop := make(chan struct{})
+	var bad atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := -1.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v, ok := tk.threshold(); ok {
+				if v < last {
+					bad.Store(true)
+					return
+				}
+				last = v
+			}
+		}
+	}()
+	var offerers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		offerers.Add(1)
+		go func(g int) {
+			defer offerers.Done()
+			for i := 0; i < 500; i++ {
+				tk.offer(mkMatch(g*1000+i, float64(i%97)/97, int64(i)), int32(g))
+			}
+		}(g)
+	}
+	offerers.Wait()
+	close(stop)
+	wg.Wait()
+	if bad.Load() {
+		t.Fatal("threshold decreased")
+	}
+}
+
+func TestSharedTopKAcrossRuns(t *testing.T) {
+	// Two sequential runs share one set: the second run evaluates
+	// against the threshold the first established, so its prunes are
+	// attributed to the other shard id.
+	ix, q := buildEnv(t, booksXML, "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+	s := score.NewTFIDF(ix, q, score.Sparse)
+	cfg := Config{K: 1, Relax: relax.All, Algorithm: WhirlpoolS, Scorer: s}
+	eng, err := New(ix, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewSharedTopK(cfg.K, 0)
+	st0, err := eng.RunShared(context.Background(), shared, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.PrunedRemote != 0 {
+		t.Fatalf("lone shard recorded %d remote prunes", st0.PrunedRemote)
+	}
+	st1, err := eng.RunShared(context.Background(), shared, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Pruned == 0 {
+		t.Fatal("second run should prune against the inherited threshold")
+	}
+	if st1.PrunedRemote != st1.Pruned {
+		t.Fatalf("second run: %d of %d prunes attributed remotely",
+			st1.PrunedRemote, st1.Pruned)
+	}
+	if got := len(shared.Answers()); got != 1 {
+		t.Fatalf("answers = %d, want 1", got)
 	}
 }
 

@@ -12,10 +12,14 @@ import (
 // run is the mutable state of a single evaluation.
 type run struct {
 	*Engine
-	topk  *topkSet
-	stats runStats
-	seq   atomic.Int64
-	ctx   context.Context
+	topk *topkSet
+	// shardID identifies this run within a sharded evaluation sharing
+	// topk with other engines (0 for a standalone run). Offers carry it
+	// so prunes caused by another shard's threshold can be counted.
+	shardID int32
+	stats   runStats
+	seq     atomic.Int64
+	ctx     context.Context
 	// lastThreshold holds the float bits of the highest currentTopK
 	// value already emitted to the trace sink, deduplicating the
 	// threshold trajectory. Initialized to -Inf by RunContext.
@@ -41,6 +45,7 @@ type runStats struct {
 	joinComparisons atomic.Int64
 	matchesCreated  atomic.Int64
 	pruned          atomic.Int64
+	prunedRemote    atomic.Int64
 }
 
 func (s *runStats) snapshot() Stats {
@@ -49,6 +54,7 @@ func (s *runStats) snapshot() Stats {
 		JoinComparisons: s.joinComparisons.Load(),
 		MatchesCreated:  s.matchesCreated.Load(),
 		Pruned:          s.pruned.Load(),
+		PrunedRemote:    s.prunedRemote.Load(),
 	}
 }
 
@@ -81,9 +87,14 @@ func (r *run) traceDepth(server, depth int) {
 }
 
 // prune discards a partial match against currentTopK, keeping the
-// counter and the trace in step.
+// counters and the trace in step. A prune is "remote" when the current
+// threshold was produced by an entry offered from another shard — the
+// cross-shard pruning the sharded execution layer exists to create.
 func (r *run) prune() {
 	r.stats.pruned.Add(1)
+	if src := r.topk.thresholdSrc(); src >= 0 && src != r.shardID {
+		r.stats.prunedRemote.Add(1)
+	}
 	r.traceMatch(obs.MatchesPruned, 1)
 }
 
@@ -120,7 +131,7 @@ func (r *run) traceThreshold() {
 func (r *run) checkTopK(m *match) (alive bool) {
 	complete := m.complete(r.allVisited)
 	if complete || r.guaranteedPartial() {
-		r.topk.offer(m)
+		r.topk.offer(m, r.shardID)
 		r.traceThreshold()
 	}
 	if complete {

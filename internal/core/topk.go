@@ -1,8 +1,11 @@
 package core
 
 import (
-	"sort"
+	"math"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/xmltree"
 )
 
 // topkSet is the shared candidate set of the k best (partial or complete)
@@ -13,14 +16,28 @@ import (
 // as-is, with every remaining node deleted, is an answer), and true for
 // complete matches otherwise; callers enforce that policy by only
 // offering guaranteed scores.
+//
+// One topkSet may be shared by several engines evaluating disjoint data
+// shards (see SharedTopK): offers carry a shard id so pruning can be
+// attributed to a local or remote threshold rise.
 type topkSet struct {
-	mu sync.Mutex
-	k  int
+	k int
 	// floor seeds the threshold (Config.Threshold / Figure 3's
 	// exogenous currentTopK).
 	floor    float64
 	hasFloor bool
 
+	// thrBits caches the current threshold as float bits so the hot
+	// prunable/estimateAlive paths read it with one atomic load instead
+	// of taking mu. NaN is the sentinel for "no threshold yet". Written
+	// only under mu (in publish), so plain stores suffice; the cached
+	// value is monotonically non-decreasing.
+	thrBits atomic.Uint64
+	// thrSrc is the shard whose k-th entry produced the cached
+	// threshold, or -1 while the floor (or nothing) governs.
+	thrSrc atomic.Int32
+
+	mu   sync.Mutex
 	best map[int]*topkEntry // root ordinal -> best known
 	top  []*topkEntry       // k best entries, sorted desc (score, then root asc)
 }
@@ -30,24 +47,56 @@ type topkEntry struct {
 	score   float64
 	m       *match
 	inTop   bool
+	pos     int // index in top while inTop
 }
 
 func newTopkSet(k int, floor float64, hasFloor bool) *topkSet {
-	return &topkSet{
+	t := &topkSet{
 		k:        k,
 		floor:    floor,
 		hasFloor: hasFloor,
 		best:     make(map[int]*topkEntry),
 	}
+	if hasFloor {
+		t.thrBits.Store(math.Float64bits(floor))
+	} else {
+		t.thrBits.Store(math.Float64bits(math.NaN()))
+	}
+	t.thrSrc.Store(-1)
+	return t
+}
+
+// bindingsLess orders two binding vectors over the same query
+// deterministically: lexicographically by document order of the bound
+// nodes, with nil (a relaxed-away binding) after any bound node. The
+// preorder ordinal is unique per node, so the order is total on distinct
+// vectors; it depends only on the vectors, never on evaluation timing.
+func bindingsLess(a, b []*xmltree.Node) bool {
+	for i := range a {
+		an, bn := a[i], b[i]
+		switch {
+		case an == bn:
+			continue
+		case an == nil:
+			return false
+		case bn == nil:
+			return true
+		default:
+			return an.Ord < bn.Ord
+		}
+	}
+	return false
 }
 
 // offer records that root rootOrd is guaranteed to reach at least
-// m.score. It keeps the best match per root and maintains the top-k
-// slice. Score comparisons here are deliberately exact: equal scores
-// tie-break on seq / root ordinal for deterministic results, and an
-// epsilon would make "equal" depend on accumulation order.
+// m.score, on behalf of shard src. It keeps the best match per root and
+// maintains the top-k slice. Score comparisons here are deliberately
+// exact: equal scores tie-break on the bindings' document order (per
+// root) and on the root ordinal (across roots) for deterministic
+// results, and an epsilon would make "equal" depend on accumulation
+// order.
 // +whirllint:exactscore
-func (t *topkSet) offer(m *match) {
+func (t *topkSet) offer(m *match, src int32) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rootOrd := m.rootOrd()
@@ -56,62 +105,99 @@ func (t *topkSet) offer(m *match) {
 		e = &topkEntry{rootOrd: rootOrd, score: m.score, m: m}
 		t.best[rootOrd] = e
 	} else {
-		if m.score < e.score || (m.score == e.score && m.seq >= e.m.seq) {
+		if m.score < e.score || (m.score == e.score && !bindingsLess(m.bindings, e.m.bindings)) {
 			return
 		}
 		e.score = m.score
 		e.m = m
 	}
 	if e.inTop {
-		t.sortTop()
+		t.fixUp(e.pos)
+		t.publish(src)
 		return
 	}
 	if len(t.top) < t.k {
 		e.inTop = true
+		e.pos = len(t.top)
 		t.top = append(t.top, e)
-		t.sortTop()
+		t.fixUp(e.pos)
+		t.publish(src)
 		return
 	}
 	last := t.top[len(t.top)-1]
 	if e.score > last.score || (e.score == last.score && e.rootOrd < last.rootOrd) {
 		last.inTop = false
 		e.inTop = true
-		t.top[len(t.top)-1] = e
-		t.sortTop()
+		e.pos = len(t.top) - 1
+		t.top[e.pos] = e
+		t.fixUp(e.pos)
+		t.publish(src)
 	}
 }
 
-// sortTop re-sorts the top-k slice. Callers hold t.mu; exact score
-// comparison is the deterministic sort tie-break.
+// fixUp restores the sort order after the entry at index i improved its
+// score: at most that one entry is out of place, so a single leftward
+// insertion pass replaces the former full re-sort. Callers hold t.mu;
+// exact score comparison is the deterministic sort tie-break.
 // +whirllint:locked
 // +whirllint:exactscore
-func (t *topkSet) sortTop() {
-	sort.Slice(t.top, func(i, j int) bool {
-		if t.top[i].score != t.top[j].score {
-			return t.top[i].score > t.top[j].score
+func (t *topkSet) fixUp(i int) {
+	e := t.top[i]
+	for i > 0 {
+		p := t.top[i-1]
+		if p.score > e.score || (p.score == e.score && p.rootOrd < e.rootOrd) {
+			break
 		}
-		return t.top[i].rootOrd < t.top[j].rootOrd
-	})
+		t.top[i] = p
+		p.pos = i
+		i--
+	}
+	t.top[i] = e
+	e.pos = i
+}
+
+// publish refreshes the cached threshold after a mutation of the top-k
+// slice. Callers hold t.mu. The k-th best guaranteed score never
+// decreases (per-root entries only improve, and replacement requires
+// ranking above the old k-th), so the cache is monotone; src is recorded
+// only when the k-th entry — not the floor — governs the new value.
+// +whirllint:locked
+// +whirllint:exactscore
+func (t *topkSet) publish(src int32) {
+	if len(t.top) < t.k {
+		return // the seeded floor (or no threshold) still governs
+	}
+	v := t.top[len(t.top)-1].score
+	fromSet := true
+	if t.hasFloor && t.floor > v {
+		v, fromSet = t.floor, false
+	}
+	old := math.Float64frombits(t.thrBits.Load())
+	if !math.IsNaN(old) && old >= v {
+		return // unchanged (or a repeat of the floor)
+	}
+	t.thrBits.Store(math.Float64bits(v))
+	if fromSet {
+		t.thrSrc.Store(src)
+	}
 }
 
 // threshold returns currentTopK: the k-th best guaranteed score, or the
 // seeded floor while fewer than k roots are known. ok is false when no
-// threshold exists yet (no pruning possible).
+// threshold exists yet (no pruning possible). Lock-free: one atomic load
+// of the cache maintained by publish, so the hot pruning paths (and
+// remote shards sharing the set) never contend on t.mu.
 func (t *topkSet) threshold() (v float64, ok bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if len(t.top) == t.k {
-		v, ok = t.top[len(t.top)-1].score, true
-		if t.hasFloor && t.floor > v {
-			v = t.floor
-		}
-		return v, ok
+	v = math.Float64frombits(t.thrBits.Load())
+	if math.IsNaN(v) {
+		return 0, false
 	}
-	if t.hasFloor {
-		return t.floor, true
-	}
-	return 0, false
+	return v, true
 }
+
+// thresholdSrc returns the shard whose entry produced the current
+// threshold, or -1 while the floor (or nothing) governs.
+func (t *topkSet) thresholdSrc() int32 { return t.thrSrc.Load() }
 
 // answers returns the final top-k, best first.
 func (t *topkSet) answers() []Answer {
@@ -127,3 +213,36 @@ func (t *topkSet) answers() []Answer {
 	}
 	return out
 }
+
+// SharedTopK is a top-k candidate set shared by several engines
+// evaluating disjoint shards of one corpus. Every engine offers into and
+// prunes against the same set, so a high-scoring answer found on one
+// shard immediately raises the threshold used to kill partial matches on
+// all others. Create one per sharded evaluation with NewSharedTopK and
+// pass it to each engine's RunShared; it is safe for concurrent use.
+//
+// The threshold it publishes is, at all times, a lower bound on the true
+// global k-th best score — it is the k-th best of the guaranteed scores
+// offered so far, over all shards — so cross-shard pruning can never
+// discard a match that belongs in the global top-k.
+type SharedTopK struct {
+	set *topkSet
+}
+
+// NewSharedTopK creates a shared top-k set for k answers. floor, when
+// positive, seeds the pruning threshold (Config.Threshold semantics).
+func NewSharedTopK(k int, floor float64) *SharedTopK {
+	return &SharedTopK{set: newTopkSet(k, floor, floor > 0)}
+}
+
+// K returns the set's capacity.
+func (s *SharedTopK) K() int { return s.set.k }
+
+// Threshold returns the current global pruning threshold; ok is false
+// while no threshold exists yet.
+func (s *SharedTopK) Threshold() (v float64, ok bool) { return s.set.threshold() }
+
+// Answers returns the current top-k, best first (score descending, ties
+// by document order of the root). After every participating RunShared
+// has returned, this is the merged global result.
+func (s *SharedTopK) Answers() []Answer { return s.set.answers() }

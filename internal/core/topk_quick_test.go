@@ -29,7 +29,7 @@ func TestPropTopkSetMatchesSort(t *testing.T) {
 				maxFinal: sc,
 				seq:      int64(i),
 			}
-			tk.offer(m)
+			tk.offer(m, 0)
 			if cur, ok := best[rootOrd]; !ok || sc > cur {
 				best[rootOrd] = sc
 			}

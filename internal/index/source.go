@@ -29,3 +29,18 @@ type Source interface {
 }
 
 var _ Source = (*Index)(nil)
+
+// ShardedSource is an optional extension implemented by sources that are
+// physically partitioned into disjoint shards (see internal/shard). Each
+// sub-source covers one partition of the document forest: together the
+// sub-sources' Nodes(rootTag) sets partition the whole source's, and
+// within a sub-source every access-path call (Candidates, Predicate, TF)
+// anchored at one of its own nodes returns exactly what the whole source
+// would — subtrees are never split across sub-sources. Consumers that
+// iterate all roots of a tag (the TFIDF statistics pass, per-shard
+// engines) can therefore fan out across sub-sources and merge.
+type ShardedSource interface {
+	Source
+	// ShardSources returns the partition, in shard order.
+	ShardSources() []Source
+}

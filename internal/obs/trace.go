@@ -23,8 +23,11 @@ type RunSummary struct {
 	JoinComparisons int64 `json:"join_comparisons"`
 	MatchesCreated  int64 `json:"matches_created"`
 	Pruned          int64 `json:"pruned"`
-	Answers         int   `json:"answers"`
-	DurationUS      int64 `json:"duration_us"`
+	// PrunedRemote is the subset of Pruned discarded while the threshold
+	// was owned by another shard of a sharded evaluation (0 standalone).
+	PrunedRemote int64 `json:"pruned_remote,omitempty"`
+	Answers      int   `json:"answers"`
+	DurationUS   int64 `json:"duration_us"`
 	// Aborted is set when the run's context was cancelled and the
 	// partial result discarded.
 	Aborted bool `json:"aborted,omitempty"`
@@ -85,13 +88,22 @@ type TraceSink interface {
 	RunEnd(sum RunSummary)
 }
 
+// ShardSink is an optional extension of TraceSink for sharded
+// evaluations: sinks that implement it additionally receive one
+// per-shard summary per shard run, before the merged run's RunEnd.
+type ShardSink interface {
+	// ShardRun reports the final counters of one shard's engine run
+	// within a sharded evaluation.
+	ShardRun(shard int, sum RunSummary)
+}
+
 // Event is one recorded trace event, shaped for JSONL dumps: Kind
 // selects which of the remaining fields are meaningful.
 type Event struct {
 	// I is the sink-assigned sequence number (arrival order).
 	I int64 `json:"i"`
 	// Kind is one of run_start, route, threshold, queue_depth, match,
-	// run_end.
+	// shard_run, run_end.
 	Kind     string      `json:"event"`
 	Run      *RunInfo    `json:"run,omitempty"`
 	Summary  *RunSummary `json:"summary,omitempty"`
@@ -101,6 +113,8 @@ type Event struct {
 	Value    float64     `json:"value,omitempty"`
 	Life     string      `json:"kind,omitempty"`
 	N        int         `json:"n,omitempty"`
+	// Shard is the shard id of a shard_run event.
+	Shard int `json:"shard,omitempty"`
 }
 
 // Collector is an in-memory TraceSink for tests and ad-hoc inspection.
@@ -142,6 +156,11 @@ func (c *Collector) MatchLifecycle(kind Lifecycle, n int) {
 
 // RunEnd implements TraceSink.
 func (c *Collector) RunEnd(sum RunSummary) { c.record(Event{Kind: "run_end", Summary: &sum}) }
+
+// ShardRun implements ShardSink.
+func (c *Collector) ShardRun(shard int, sum RunSummary) {
+	c.record(Event{Kind: "shard_run", Shard: shard, Summary: &sum})
+}
 
 // Events returns a copy of everything recorded so far.
 func (c *Collector) Events() []Event {
@@ -234,3 +253,8 @@ func (j *JSONL) MatchLifecycle(kind Lifecycle, n int) {
 
 // RunEnd implements TraceSink.
 func (j *JSONL) RunEnd(sum RunSummary) { j.record(Event{Kind: "run_end", Summary: &sum}) }
+
+// ShardRun implements ShardSink.
+func (j *JSONL) ShardRun(shard int, sum RunSummary) {
+	j.record(Event{Kind: "shard_run", Shard: shard, Summary: &sum})
+}

@@ -2,6 +2,7 @@ package score
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/dewey"
 	"repro/internal/index"
@@ -130,8 +131,54 @@ func idf(rootCount, satisfying int) float64 {
 }
 
 // predicateStats computes database statistics for the exact and relaxed
-// variants of component predicate p(q0, qi).
+// variants of component predicate p(q0, qi). When ix is physically
+// sharded, the per-root scan for id > 0 — the expensive part of building
+// a TFIDF scorer — fans out across the sub-sources in parallel and the
+// partial statistics are merged; each sub-source holds complete subtrees,
+// so its local scan is exact for its own roots.
 func predicateStats(ix index.Source, q *pattern.Query, id int) (exact, relaxed index.PredicateStats) {
+	if id > 0 {
+		if sh, ok := ix.(index.ShardedSource); ok {
+			if subs := sh.ShardSources(); len(subs) > 1 {
+				return shardedPredicateStats(subs, q, id)
+			}
+		}
+	}
+	return scanPredicate(ix, q, id)
+}
+
+// shardedPredicateStats runs scanPredicate over each sub-source
+// concurrently and merges: counts sum, max term frequencies take the max.
+func shardedPredicateStats(subs []index.Source, q *pattern.Query, id int) (exact, relaxed index.PredicateStats) {
+	exacts := make([]index.PredicateStats, len(subs))
+	relaxeds := make([]index.PredicateStats, len(subs))
+	var wg sync.WaitGroup
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub index.Source) {
+			defer wg.Done()
+			exacts[i], relaxeds[i] = scanPredicate(sub, q, id)
+		}(i, sub)
+	}
+	wg.Wait()
+	for i := range subs {
+		mergeStats(&exact, exacts[i])
+		mergeStats(&relaxed, relaxeds[i])
+	}
+	return exact, relaxed
+}
+
+func mergeStats(dst *index.PredicateStats, s index.PredicateStats) {
+	dst.RootCount += s.RootCount
+	dst.Satisfying += s.Satisfying
+	dst.TotalPairs += s.TotalPairs
+	if s.MaxTF > dst.MaxTF {
+		dst.MaxTF = s.MaxTF
+	}
+}
+
+// scanPredicate is the sequential statistics scan over one source.
+func scanPredicate(ix index.Source, q *pattern.Query, id int) (exact, relaxed index.PredicateStats) {
 	rootTag := q.Root().Tag
 	node := q.Nodes[id]
 	if id == 0 {

@@ -1,0 +1,188 @@
+package shard_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/score"
+	"repro/internal/shard"
+	"repro/internal/xmltree"
+)
+
+// TestShardedTopKEquivalence is the sharding safety property: a sharded
+// evaluation must return the same answers as the single-engine baseline
+// across strategies {Whirlpool-S, Whirlpool-M} × relaxations {None, All}
+// × shard counts {1, 2, 8}. Both sides share one whole-corpus scorer and
+// static routing, so every match accumulates contributions in the same
+// order and scores are bit-comparable.
+//
+// What "same" means at the k-th place: entries tying the k-th best score
+// are prunable (by design — see prunable in internal/core), so WHICH
+// tying root fills the last slot can legitimately depend on timing, in
+// the sharded and in the unsharded engine alike. The score vector is
+// still fully determined, and every answer scoring strictly above the
+// k-th score is byte-identical — same root, same bindings, same order.
+func TestShardedTopKEquivalence(t *testing.T) {
+	doc := xmarkDoc(t, 50)
+	whole := index.Build(doc)
+	queries := []string{
+		"//item[./description/parlist]",
+		"//item[./description/parlist and ./mailbox/mail/text]",
+		"//item[./mailbox/mail/text[./bold and ./keyword] and ./name and ./incategory]",
+	}
+	algos := []core.Algorithm{core.WhirlpoolS, core.WhirlpoolM}
+	relaxes := []relax.Relaxation{relax.None, relax.All}
+	counts := []int{1, 2, 8}
+
+	corpora := make(map[int]*shard.Corpus)
+	for _, p := range counts {
+		c, err := shard.Split(doc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpora[p] = c
+	}
+
+	for _, xpath := range queries {
+		q := pattern.MustParse(xpath)
+		scorer := score.NewTFIDF(whole, q, score.Sparse)
+		for _, algo := range algos {
+			for _, rel := range relaxes {
+				// k=10 exercises pruning; k=4096 returns every root, so
+				// no pruning can hide a divergence.
+				for _, k := range []int{10, 4096} {
+					cfg := core.Config{K: k, Relax: rel, Algorithm: algo, Scorer: scorer}
+					baseEng, err := core.New(whole, q, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					base, err := baseEng.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, p := range counts {
+						name := fmt.Sprintf("%s/%v/rel=%d/k=%d/p=%d", xpath, algo, rel, k, p)
+						engs, err := corpora[p].NewEngines(q, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := engs.Run()
+						if err != nil {
+							t.Fatal(err)
+						}
+						compareResults(t, name, base, res)
+						if res.Stats.PrunedRemote > res.Stats.Pruned {
+							t.Fatalf("%s: PrunedRemote %d > Pruned %d", name, res.Stats.PrunedRemote, res.Stats.Pruned)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedTopKEquivalenceRandomDocs repeats the property on random
+// forests, where unit shapes (deep chains, empty shards, multi-root
+// forests) differ wildly from XMark's.
+func TestShardedTopKEquivalenceRandomDocs(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	queries := []string{
+		"//r[./a and ./b]",
+		"//a[./b/c]",
+		"//r[./a[./c] and ./d]",
+	}
+	for i := 0; i < 8; i++ {
+		doc := randomDoc(r)
+		whole := index.Build(doc)
+		for _, xpath := range queries {
+			q := pattern.MustParse(xpath)
+			scorer := score.NewTFIDF(whole, q, score.Sparse)
+			cfg := core.Config{K: 5, Relax: relax.All, Algorithm: core.WhirlpoolS, Scorer: scorer}
+			baseEng, err := core.New(whole, q, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := baseEng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{2, 8} {
+				c, err := shard.Split(doc, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				engs, err := c.NewEngines(q, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := engs.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareResults(t, fmt.Sprintf("doc%d/%s/p=%d", i, xpath, p), base, res)
+			}
+		}
+	}
+}
+
+func compareResults(t *testing.T, name string, base, got *core.Result) {
+	t.Helper()
+	if len(got.Answers) != len(base.Answers) {
+		t.Fatalf("%s: %d answers, baseline %d", name, len(got.Answers), len(base.Answers))
+	}
+	if len(base.Answers) == 0 {
+		return
+	}
+	const eps = 1e-9
+	for i := range base.Answers {
+		if math.Abs(got.Answers[i].Score-base.Answers[i].Score) > eps {
+			t.Fatalf("%s: answer %d score %v, baseline %v", name, i, got.Answers[i].Score, base.Answers[i].Score)
+		}
+	}
+	// Strictly above the k-th boundary score, answers are byte-identical:
+	// same root node, same bindings, same order.
+	boundary := base.Answers[len(base.Answers)-1].Score
+	for i := range base.Answers {
+		if base.Answers[i].Score <= boundary+eps {
+			continue
+		}
+		if got.Answers[i].Root != base.Answers[i].Root {
+			t.Fatalf("%s: answer %d root ord %d, baseline %d",
+				name, i, got.Answers[i].Root.Ord, base.Answers[i].Root.Ord)
+		}
+		if !sameBindings(got.Answers[i].Bindings, base.Answers[i].Bindings) {
+			t.Fatalf("%s: answer %d bindings %v, baseline %v",
+				name, i, fmtBindings(got.Answers[i].Bindings), fmtBindings(base.Answers[i].Bindings))
+		}
+	}
+}
+
+func sameBindings(a, b []*xmltree.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtBindings(bs []*xmltree.Node) []int {
+	out := make([]int, len(bs))
+	for i, b := range bs {
+		if b == nil {
+			out[i] = -1
+		} else {
+			out[i] = b.Ord
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/pattern"
+)
+
+// Engines evaluates one query over a partitioned corpus: one core.Engine
+// per sub-source with root candidates, all offering into and pruning
+// against a single core.SharedTopK per run. Like core.Engine it is
+// immutable after construction (except the engines' atomic totals) and
+// safe for repeated, concurrent RunContext calls.
+type Engines struct {
+	corpus *Corpus
+	cfg    core.Config
+	engs   []runner
+	reg    *obs.Registry
+}
+
+// runner pairs an engine with its shard id (the index of its sub-source
+// in the corpus's ShardSources — the spine, when present, is the last).
+type runner struct {
+	shard int
+	eng   *core.Engine
+}
+
+// NewEngines builds the per-shard engines for q over the corpus. cfg is
+// the standard engine configuration; cfg.Scorer must be built against
+// the whole corpus (one global scorer keeps scores — and therefore the
+// shared threshold — comparable across shards). Sub-sources without a
+// single root candidate are skipped: they cannot spawn a match.
+func (c *Corpus) NewEngines(q *pattern.Query, cfg core.Config) (*Engines, error) {
+	if cfg.Scorer == nil {
+		return nil, fmt.Errorf("shard: Config.Scorer is required (build it over the whole corpus)")
+	}
+	root := q.Root()
+	vt := index.Test(root.ValueOp, root.Value)
+	e := &Engines{corpus: c, cfg: cfg}
+	for shard, sub := range c.ShardSources() {
+		if len(sub.NodesMatching(root.Tag, vt)) == 0 {
+			continue
+		}
+		eng, err := core.New(sub, q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.engs = append(e.engs, runner{shard: shard, eng: eng})
+	}
+	return e, nil
+}
+
+// ObserveInto registers per-run shard metrics (per-shard counters, run
+// duration and skew histograms, merge latency) with reg. Call before the
+// first run; a nil registry disables recording.
+func (e *Engines) ObserveInto(reg *obs.Registry) { e.reg = reg }
+
+// Shards returns the number of participating engines.
+func (e *Engines) Shards() int { return len(e.engs) }
+
+// Config returns the engines' shared configuration.
+func (e *Engines) Config() core.Config { return e.cfg }
+
+// Corpus returns the partitioned corpus the engines evaluate.
+func (e *Engines) Corpus() *Corpus { return e.corpus }
+
+// Run evaluates the query over all shards concurrently and returns the
+// merged result.
+func (e *Engines) Run() (*core.Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext runs every shard engine concurrently against one fresh
+// SharedTopK, so each shard's guaranteed scores immediately tighten the
+// pruning threshold of all others, then merges: answers come from the
+// shared set (already deterministic — score descending, document order
+// ascending), stats are summed, Duration is the sharded wall clock. The
+// first engine error cancels the remaining shards.
+func (e *Engines) RunContext(ctx context.Context) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	shared := core.NewSharedTopK(e.cfg.K, e.cfg.Threshold)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	stats := make([]core.Stats, len(e.engs))
+	errs := make([]error, len(e.engs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, rn := range e.engs {
+		wg.Add(1)
+		go func(i int, rn runner) {
+			defer wg.Done()
+			stats[i], errs[i] = rn.eng.RunShared(runCtx, shared, rn.shard)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, rn)
+	}
+	wg.Wait()
+
+	if err := firstError(ctx, errs); err != nil {
+		return nil, err
+	}
+	mergeStart := time.Now()
+	res := &core.Result{Answers: shared.Answers()}
+	mergeDur := time.Since(mergeStart)
+	for _, st := range stats {
+		res.Stats.ServerOps += st.ServerOps
+		res.Stats.JoinComparisons += st.JoinComparisons
+		res.Stats.MatchesCreated += st.MatchesCreated
+		res.Stats.Pruned += st.Pruned
+		res.Stats.PrunedRemote += st.PrunedRemote
+	}
+	res.Stats.Duration = time.Since(start)
+	e.observe(stats, mergeDur)
+	return res, nil
+}
+
+// firstError picks the error to surface: the parent context's when it
+// was cancelled, otherwise the first engine error that is not the echo
+// of our own cross-shard cancellation.
+func firstError(ctx context.Context, errs []error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observe records one run's per-shard metrics and emits per-shard
+// summaries to a configured ShardSink.
+func (e *Engines) observe(stats []core.Stats, mergeDur time.Duration) {
+	sink, _ := e.cfg.Trace.(obs.ShardSink)
+	var maxDur, sumDur time.Duration
+	for i, rn := range e.engs {
+		st := stats[i]
+		if st.Duration > maxDur {
+			maxDur = st.Duration
+		}
+		sumDur += st.Duration
+		if sink != nil {
+			sink.ShardRun(rn.shard, obs.RunSummary{
+				ServerOps:       st.ServerOps,
+				JoinComparisons: st.JoinComparisons,
+				MatchesCreated:  st.MatchesCreated,
+				Pruned:          st.Pruned,
+				PrunedRemote:    st.PrunedRemote,
+				DurationUS:      st.Duration.Microseconds(),
+			})
+		}
+		if e.reg == nil {
+			continue
+		}
+		shard := fmt.Sprintf("%d", rn.shard)
+		e.reg.Counter("whirlpool_shard_server_ops_total", "shard", shard).Add(st.ServerOps)
+		e.reg.Counter("whirlpool_shard_matches_created_total", "shard", shard).Add(st.MatchesCreated)
+		e.reg.Counter("whirlpool_shard_matches_pruned_total", "shard", shard).Add(st.Pruned)
+		e.reg.Counter("whirlpool_shard_pruned_remote_total", "shard", shard).Add(st.PrunedRemote)
+		e.reg.Histogram("whirlpool_shard_run_duration_us", "shard", shard).Observe(st.Duration.Microseconds())
+	}
+	if e.reg == nil {
+		return
+	}
+	e.reg.Histogram("whirlpool_shard_merge_duration_us").Observe(mergeDur.Microseconds())
+	if n := len(e.engs); n > 0 && sumDur > 0 {
+		// Skew: slowest shard over mean shard duration, in permille.
+		mean := sumDur / time.Duration(n)
+		e.reg.Gauge("whirlpool_shard_skew_permille").Set(int64(maxDur * 1000 / mean))
+	}
+}
+
+// ShardTotal is one shard engine's cumulative instrumentation.
+type ShardTotal struct {
+	Shard  int
+	Totals core.Totals
+}
+
+// ShardTotals snapshots every shard engine's cumulative totals across
+// all completed runs, shard order.
+func (e *Engines) ShardTotals() []ShardTotal {
+	out := make([]ShardTotal, 0, len(e.engs))
+	for _, rn := range e.engs {
+		out = append(out, ShardTotal{Shard: rn.shard, Totals: rn.eng.Totals()})
+	}
+	return out
+}

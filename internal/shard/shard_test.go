@@ -1,0 +1,269 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/shard"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+// randomDoc builds a random forest with a few tags so partitions hit
+// uneven subtree shapes, deep chains and repeated tags.
+func randomDoc(r *rand.Rand) *xmltree.Document {
+	tags := []string{"a", "b", "c", "d"}
+	doc := xmltree.NewDocument()
+	roots := r.Intn(3) + 1
+	for i := 0; i < roots; i++ {
+		root := doc.AddRoot("r")
+		var grow func(n *xmltree.Node, depth int)
+		grow = func(n *xmltree.Node, depth int) {
+			if depth > 5 {
+				return
+			}
+			kids := r.Intn(4)
+			for j := 0; j < kids; j++ {
+				val := ""
+				if r.Intn(3) == 0 {
+					val = fmt.Sprintf("v%d", r.Intn(3))
+				}
+				c := doc.AddChild(n, tags[r.Intn(len(tags))], val)
+				grow(c, depth+1)
+			}
+		}
+		grow(root, 1)
+	}
+	doc.Renumber()
+	return doc
+}
+
+func xmarkDoc(t *testing.T, items int) *xmltree.Document {
+	t.Helper()
+	doc, err := xmark.Generate(xmark.Options{Seed: 1, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestSplitPartitionInvariants checks the structural contract: every
+// document node lands in exactly one part or on the spine, parts hold
+// complete subtrees, ordinals stay global, and postings stay in
+// document order.
+func TestSplitPartitionInvariants(t *testing.T) {
+	docs := map[string]*xmltree.Document{"xmark": xmarkDoc(t, 40)}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5; i++ {
+		docs[fmt.Sprintf("random%d", i)] = randomDoc(r)
+	}
+	for name, doc := range docs {
+		for _, p := range []int{1, 2, 3, 8, 64} {
+			t.Run(fmt.Sprintf("%s/p=%d", name, p), func(t *testing.T) {
+				c, err := shard.Split(doc, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := len(c.Parts()); got != p {
+					t.Fatalf("parts = %d, want %d", got, p)
+				}
+				seen := make(map[int]int) // ord -> count
+				for _, s := range c.Spine() {
+					seen[s.Ord]++
+				}
+				for _, part := range c.Parts() {
+					lastOrd := -1
+					for _, n := range part.Doc.Nodes {
+						seen[n.Ord]++
+						if n.Ord <= lastOrd {
+							t.Fatalf("part %d view not in document order", part.ID)
+						}
+						lastOrd = n.Ord
+					}
+					// Complete subtrees: every child of a part node is in
+					// the same part.
+					for _, u := range part.Units {
+						for _, d := range u.Descendants() {
+							if d.Parent == nil {
+								t.Fatalf("descendant %v lost its parent", d)
+							}
+						}
+					}
+					if part.NodeCount != len(part.Doc.Nodes) {
+						t.Fatalf("part %d NodeCount = %d, want %d", part.ID, part.NodeCount, len(part.Doc.Nodes))
+					}
+				}
+				if len(seen) != doc.Size() {
+					t.Fatalf("covered %d of %d nodes", len(seen), doc.Size())
+				}
+				for ord, n := range seen {
+					if n != 1 {
+						t.Fatalf("node %d assigned %d times", ord, n)
+					}
+				}
+				// Ordinals must still be the global preorder ones.
+				for i, n := range doc.Nodes {
+					if n.Ord != i {
+						t.Fatalf("global ordinals corrupted at %d", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSplitSingleShardKeepsForestWhole ensures p=1 does not cut anything:
+// the single part's roots are the document roots.
+func TestSplitSingleShardKeepsForestWhole(t *testing.T) {
+	doc := xmarkDoc(t, 20)
+	c, err := shard.Split(doc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Spine()) != 0 {
+		t.Fatalf("spine has %d nodes, want 0", len(c.Spine()))
+	}
+	if got := len(c.Parts()[0].Units); got != len(doc.Roots) {
+		t.Fatalf("units = %d, want %d roots", got, len(doc.Roots))
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	if _, err := shard.Split(nil, 2); err == nil {
+		t.Fatal("nil document accepted")
+	}
+	doc := xmarkDoc(t, 5)
+	if _, err := shard.Split(doc, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}
+
+func TestSplitEmptyDocument(t *testing.T) {
+	doc := xmltree.NewDocument()
+	c, err := shard.Split(doc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CountTag("anything"); got != 0 {
+		t.Fatalf("CountTag on empty = %d", got)
+	}
+}
+
+// TestCorpusSourceEquivalence drives the Corpus index.Source against a
+// whole-document index: every access path must answer identically, for
+// anchors inside parts and on the spine alike.
+func TestCorpusSourceEquivalence(t *testing.T) {
+	docs := []*xmltree.Document{xmarkDoc(t, 30)}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 6; i++ {
+		docs = append(docs, randomDoc(r))
+	}
+	axes := []dewey.Axis{dewey.Self, dewey.Child, dewey.Descendant}
+	for di, doc := range docs {
+		whole := index.Build(doc)
+		for _, p := range []int{1, 2, 8} {
+			c, err := shard.Split(doc, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("doc%d/p=%d", di, p)
+			tags := doc.Tags()
+			for _, tag := range tags {
+				if got, want := nodeOrds(c.Nodes(tag)), nodeOrds(whole.Nodes(tag)); !equalInts(got, want) {
+					t.Fatalf("%s: Nodes(%q) = %v, want %v", name, tag, got, want)
+				}
+				if got, want := c.CountTag(tag), whole.CountTag(tag); got != want {
+					t.Fatalf("%s: CountTag(%q) = %d, want %d", name, tag, got, want)
+				}
+				vt := index.Test("", "v1")
+				if got, want := nodeOrds(c.NodesMatching(tag, vt)), nodeOrds(whole.NodesMatching(tag, vt)); !equalInts(got, want) {
+					t.Fatalf("%s: NodesMatching(%q, =v1) mismatch", name, tag)
+				}
+			}
+			// Sample anchors: every 7th node plus every spine node.
+			anchors := c.Spine()
+			for i := 0; i < len(doc.Nodes); i += 7 {
+				anchors = append(anchors, doc.Nodes[i])
+			}
+			any := index.Test("", "")
+			for _, anchor := range anchors {
+				for _, axis := range axes {
+					for _, tag := range tags {
+						got := nodeOrds(c.Candidates(anchor, axis, tag, any))
+						want := nodeOrds(whole.Candidates(anchor, axis, tag, any))
+						if !equalInts(got, want) {
+							t.Fatalf("%s: Candidates(ord %d, %v, %q) = %v, want %v",
+								name, anchor.Ord, axis, tag, got, want)
+						}
+						if got, want := c.TF(anchor, axis, tag, any), whole.TF(anchor, axis, tag, any); got != want {
+							t.Fatalf("%s: TF(ord %d, %v, %q) = %d, want %d",
+								name, anchor.Ord, axis, tag, got, want)
+						}
+					}
+				}
+			}
+			for _, rootTag := range tags {
+				for _, tag := range tags {
+					got := c.Predicate(rootTag, dewey.Descendant, tag, any)
+					want := whole.Predicate(rootTag, dewey.Descendant, tag, any)
+					if got != want {
+						t.Fatalf("%s: Predicate(%q//%q) = %+v, want %+v", name, rootTag, tag, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardSourcesPartitionRoots checks the ShardedSource contract: the
+// sub-sources' postings for any tag partition the corpus's.
+func TestShardSourcesPartitionRoots(t *testing.T) {
+	doc := xmarkDoc(t, 30)
+	c, err := shard.Split(doc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := c.ShardSources()
+	if len(subs) < 4 {
+		t.Fatalf("sub-sources = %d, want ≥ 4", len(subs))
+	}
+	for _, tag := range doc.Tags() {
+		seen := make(map[int]bool)
+		total := 0
+		for _, sub := range subs {
+			for _, n := range sub.Nodes(tag) {
+				if seen[n.Ord] {
+					t.Fatalf("tag %q node %d in two sub-sources", tag, n.Ord)
+				}
+				seen[n.Ord] = true
+				total++
+			}
+		}
+		if want := c.CountTag(tag); total != want {
+			t.Fatalf("tag %q: sub-sources hold %d nodes, corpus %d", tag, total, want)
+		}
+	}
+}
+
+func nodeOrds(ns []*xmltree.Node) []int {
+	out := make([]int, len(ns))
+	for i, n := range ns {
+		out[i] = n.Ord
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,230 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Corpus implements index.Source over the whole forest by merging the
+// per-part indexes (plus the spine), and index.ShardedSource so
+// whole-corpus scans — the TFIDF statistics pass above all — can fan out
+// across the parts in parallel.
+var (
+	_ index.Source        = (*Corpus)(nil)
+	_ index.ShardedSource = (*Corpus)(nil)
+)
+
+// Nodes returns all nodes with the tag in document order, merged across
+// parts and spine. Merged postings are cached per tag; the returned
+// slice is shared and must not be modified.
+func (c *Corpus) Nodes(tag string) []*xmltree.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodesLocked(tag)
+}
+
+// nodesLocked is Nodes with c.mu held.
+// +whirllint:locked
+func (c *Corpus) nodesLocked(tag string) []*xmltree.Node {
+	if cached, ok := c.mergedTag[tag]; ok {
+		return cached
+	}
+	var out []*xmltree.Node
+	for _, p := range c.parts {
+		out = append(out, p.Ix.Nodes(tag)...)
+	}
+	out = append(out, c.spineByTag[tag]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
+	c.mergedTag[tag] = out
+	return out
+}
+
+// NodesMatching returns the tag nodes satisfying vt in document order.
+// Non-trivial value tests filter the merged postings once and cache.
+func (c *Corpus) NodesMatching(tag string, vt index.ValueTest) []*xmltree.Node {
+	if vt.Any() {
+		return c.Nodes(tag)
+	}
+	key := tag + "\x01" + vt.Op + "\x01" + vt.Value
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cached, ok := c.mergedMatch[key]; ok {
+		return cached
+	}
+	var out []*xmltree.Node
+	for _, n := range c.nodesLocked(tag) {
+		if vt.Matches(n.Value) {
+			out = append(out, n)
+		}
+	}
+	c.mergedMatch[key] = out
+	return out
+}
+
+// CountTag returns the number of nodes with the tag.
+func (c *Corpus) CountTag(tag string) int { return len(c.Nodes(tag)) }
+
+// home resolves the shard holding n: the part ID of its nearest
+// unit-root ancestor, or -1 when n sits on the spine.
+func (c *Corpus) home(n *xmltree.Node) int {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if h, ok := c.homes[cur.Ord]; ok {
+			return h
+		}
+	}
+	return -1
+}
+
+// Candidates returns the tag nodes satisfying vt on the axis of anchor,
+// in document order. Anchors inside a part delegate to that part's index
+// — complete subtrees make the local answer globally exact. Spine
+// anchors (whose subtrees span parts) merge the spine with per-part
+// range scans under the dominated units.
+func (c *Corpus) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	switch axis {
+	case dewey.Self:
+		if anchor.Tag == tag && vt.Matches(anchor.Value) {
+			return []*xmltree.Node{anchor}
+		}
+		return nil
+	case dewey.Child:
+		var out []*xmltree.Node
+		for _, ch := range anchor.Children {
+			if ch.Tag == tag && vt.Matches(ch.Value) {
+				out = append(out, ch)
+			}
+		}
+		return out
+	case dewey.Descendant:
+		if h := c.home(anchor); h >= 0 {
+			return c.parts[h].Ix.Candidates(anchor, axis, tag, vt)
+		}
+		return c.spineDescendants(anchor, tag, vt)
+	default:
+		return nil
+	}
+}
+
+// spineDescendants collects the tag descendants of a spine anchor: the
+// matching spine nodes strictly below it, plus — for every unit the
+// anchor dominates — the unit root and the unit's local descendant scan.
+func (c *Corpus) spineDescendants(anchor *xmltree.Node, tag string, vt index.ValueTest) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, s := range c.spineByTag[tag] {
+		if s != anchor && anchor.ID.IsAncestorOf(s.ID) && vt.Matches(s.Value) {
+			out = append(out, s)
+		}
+	}
+	for _, p := range c.parts {
+		for _, u := range p.Units {
+			if !anchor.ID.IsAncestorOf(u.ID) {
+				continue
+			}
+			if u.Tag == tag && vt.Matches(u.Value) {
+				out = append(out, u)
+			}
+			out = append(out, p.Ix.Candidates(u, dewey.Descendant, tag, vt)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
+	return out
+}
+
+// Predicate computes whole-corpus statistics for the component predicate
+// relating rootTag nodes to (tag, vt) nodes via axis.
+func (c *Corpus) Predicate(rootTag string, axis dewey.Axis, tag string, vt index.ValueTest) index.PredicateStats {
+	roots := c.Nodes(rootTag)
+	st := index.PredicateStats{RootCount: len(roots)}
+	for _, r := range roots {
+		tf := c.TF(r, axis, tag, vt)
+		if tf > 0 {
+			st.Satisfying++
+			st.TotalPairs += tf
+			if tf > st.MaxTF {
+				st.MaxTF = tf
+			}
+		}
+	}
+	return st
+}
+
+// TF returns the term frequency of (tag, vt) on the axis of n.
+func (c *Corpus) TF(n *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) int {
+	if axis == dewey.Descendant {
+		if h := c.home(n); h >= 0 {
+			return c.parts[h].Ix.TF(n, axis, tag, vt)
+		}
+	}
+	return len(c.Candidates(n, axis, tag, vt))
+}
+
+// ShardSources implements index.ShardedSource: one sub-source per part,
+// plus — when interior nodes were cut — a spine sub-source covering the
+// residual forest whose subtrees span parts. Together the sub-sources'
+// root sets partition the corpus's, and each is exact for its own
+// anchors.
+func (c *Corpus) ShardSources() []index.Source {
+	out := make([]index.Source, 0, len(c.parts)+1)
+	for _, p := range c.parts {
+		out = append(out, p.Ix)
+	}
+	if len(c.spine) > 0 {
+		out = append(out, &spineView{c: c})
+	}
+	return out
+}
+
+// spineView exposes the spine — the cut interior nodes whose subtrees
+// span parts — as an index.Source. Tag scans see only spine nodes
+// (that is the partition contract: the spine owns these roots), while
+// structural probes anchored at a spine node answer over the whole
+// corpus via Corpus.Candidates.
+type spineView struct {
+	c *Corpus
+}
+
+var _ index.Source = (*spineView)(nil)
+
+func (v *spineView) Nodes(tag string) []*xmltree.Node { return v.c.spineByTag[tag] }
+
+func (v *spineView) NodesMatching(tag string, vt index.ValueTest) []*xmltree.Node {
+	if vt.Any() {
+		return v.c.spineByTag[tag]
+	}
+	var out []*xmltree.Node
+	for _, n := range v.c.spineByTag[tag] {
+		if vt.Matches(n.Value) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (v *spineView) CountTag(tag string) int { return len(v.c.spineByTag[tag]) }
+
+func (v *spineView) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	return v.c.Candidates(anchor, axis, tag, vt)
+}
+
+func (v *spineView) Predicate(rootTag string, axis dewey.Axis, tag string, vt index.ValueTest) index.PredicateStats {
+	roots := v.Nodes(rootTag)
+	st := index.PredicateStats{RootCount: len(roots)}
+	for _, r := range roots {
+		tf := v.TF(r, axis, tag, vt)
+		if tf > 0 {
+			st.Satisfying++
+			st.TotalPairs += tf
+			if tf > st.MaxTF {
+				st.MaxTF = tf
+			}
+		}
+	}
+	return st
+}
+
+func (v *spineView) TF(n *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) int {
+	return v.c.TF(n, axis, tag, vt)
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/relax"
 	"repro/internal/score"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/xmark"
 	"repro/internal/xmltree"
@@ -158,6 +160,11 @@ const (
 type Database struct {
 	doc *Document
 	ix  index.Source
+
+	mu sync.Mutex
+	// sharded caches one ShardedDatabase per shard count, built lazily
+	// the first time Options.Shards asks for it.
+	sharded map[int]*ShardedDatabase
 }
 
 // Load parses an XML document (or forest) from r and indexes it.
@@ -281,6 +288,14 @@ type Options struct {
 	// must be safe for concurrent use (Whirlpool-M emits from several
 	// goroutines).
 	Trace TraceSink
+	// Shards, when above 1, evaluates the query on a sharded execution
+	// layer: the document is partitioned into that many shards of
+	// complete subtrees, each with its own index and engine, all pruning
+	// against one shared global top-k set (see ShardedDatabase). Honored
+	// by TopK/TopKContext/TopKString — the per-count partition is built
+	// once and cached on the Database — and ignored by NewEngine, which
+	// always prepares a single-engine evaluator.
+	Shards int
 }
 
 // Approximate returns the default options for approximate top-k matching
@@ -290,10 +305,13 @@ func Approximate(k int) Options { return Options{K: k, Relax: RelaxAll} }
 // Exact returns the default options for exact top-k matching.
 func Exact(k int) Options { return Options{K: k, Relax: RelaxNone} }
 
-// NewEngine prepares a reusable engine for q under opts.
-func (db *Database) NewEngine(q *Query, opts Options) (*Engine, error) {
+// engineConfig resolves opts against the defaults into a core.Config.
+// The scorer, when defaulted, is built over ix — pass the whole corpus
+// when the config will drive sharded engines, so scores stay comparable
+// across shards.
+func engineConfig(ix index.Source, q *Query, opts Options) (core.Config, error) {
 	if q == nil {
-		return nil, fmt.Errorf("whirlpool: nil query")
+		return core.Config{}, fmt.Errorf("whirlpool: nil query")
 	}
 	k := opts.K
 	if k == 0 {
@@ -305,13 +323,13 @@ func (db *Database) NewEngine(q *Query, opts Options) (*Engine, error) {
 		if norm == score.Raw {
 			norm = score.Sparse
 		}
-		scorer = score.NewTFIDF(db.ix, q, norm)
+		scorer = score.NewTFIDF(ix, q, norm)
 	}
 	routing := opts.Routing
 	if routing == core.RoutingStatic && opts.Order == nil && opts.Algorithm != LockStep && opts.Algorithm != LockStepNoPrune {
 		routing = core.RoutingMinAlive
 	}
-	cfg := core.Config{
+	return core.Config{
 		K:         k,
 		Relax:     opts.Relax,
 		Algorithm: opts.Algorithm,
@@ -322,6 +340,14 @@ func (db *Database) NewEngine(q *Query, opts Options) (*Engine, error) {
 		OpCost:    opts.OpCost,
 		Estimator: opts.Estimator,
 		Trace:     opts.Trace,
+	}, nil
+}
+
+// NewEngine prepares a reusable engine for q under opts.
+func (db *Database) NewEngine(q *Query, opts Options) (*Engine, error) {
+	cfg, err := engineConfig(db.ix, q, opts)
+	if err != nil {
+		return nil, err
 	}
 	return core.New(db.ix, q, cfg)
 }
@@ -334,11 +360,37 @@ func (db *Database) TopK(q *Query, opts Options) (*Result, error) {
 // TopKContext is TopK with cancellation: when ctx is cancelled the
 // evaluation winds down promptly and ctx's error is returned.
 func (db *Database) TopKContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	if opts.Shards > 1 {
+		sdb, err := db.shardedFor(opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		return sdb.TopKContext(ctx, q, opts)
+	}
 	e, err := db.NewEngine(q, opts)
 	if err != nil {
 		return nil, err
 	}
 	return e.RunContext(ctx)
+}
+
+// shardedFor returns the cached ShardedDatabase for p shards, splitting
+// the document on first use.
+func (db *Database) shardedFor(p int) (*ShardedDatabase, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if sdb, ok := db.sharded[p]; ok {
+		return sdb, nil
+	}
+	sdb, err := ShardDocument(db.doc, p)
+	if err != nil {
+		return nil, err
+	}
+	if db.sharded == nil {
+		db.sharded = make(map[int]*ShardedDatabase)
+	}
+	db.sharded[p] = sdb
+	return sdb, nil
 }
 
 // CostBasedOrder chooses a static server order a priori from index
@@ -356,6 +408,116 @@ func (db *Database) TopKString(xpath string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	return db.TopK(q, opts)
+}
+
+// ShardedEngine is a prepared sharded evaluator: one engine per shard,
+// all sharing a global top-k set per run. It mirrors Engine's Run /
+// RunContext contract and is reusable across concurrent runs.
+type ShardedEngine = shard.Engines
+
+// ShardInfo describes one shard's share of a partitioned document.
+type ShardInfo = shard.PartInfo
+
+// ShardTotals is one shard engine's cumulative instrumentation; see
+// ShardedEngine.ShardTotals.
+type ShardTotals = shard.ShardTotal
+
+// ShardedDatabase is a Database partitioned into P shards of complete
+// subtrees, each carrying its own index, evaluated by per-shard engines
+// that prune against a single shared global top-k set: a high-scoring
+// answer found on one shard immediately raises the threshold used to
+// kill partial matches on all others. Because the shared threshold is
+// always a lower bound on the true global k-th best score, the merged
+// answers match a single-engine evaluation's.
+//
+//	sdb, _ := db.Shard(8)
+//	res, _ := sdb.TopK(q, whirlpool.Approximate(10))
+type ShardedDatabase struct {
+	doc    *Document
+	corpus *shard.Corpus
+	reg    *obs.Registry
+}
+
+// Shard partitions the database into p shards (p ≥ 1). The partition is
+// computed once; the returned ShardedDatabase is safe for concurrent
+// queries.
+func (db *Database) Shard(p int) (*ShardedDatabase, error) { return ShardDocument(db.doc, p) }
+
+// ShardDocument partitions an already parsed document into p shards,
+// building the per-shard indexes in parallel.
+func ShardDocument(doc *Document, p int) (*ShardedDatabase, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("whirlpool: nil document")
+	}
+	corpus, err := shard.Split(doc, p)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedDatabase{doc: doc, corpus: corpus}, nil
+}
+
+// ObserveInto routes per-run shard metrics (per-shard operation and
+// prune counters, run-duration and merge-latency histograms, shard-skew
+// gauge) from every engine subsequently built to reg.
+func (sdb *ShardedDatabase) ObserveInto(reg *obs.Registry) { sdb.reg = reg }
+
+// Document returns the underlying parsed document.
+func (sdb *ShardedDatabase) Document() *Document { return sdb.doc }
+
+// Size returns the number of nodes in the database.
+func (sdb *ShardedDatabase) Size() int { return sdb.doc.Size() }
+
+// Shards returns the partition's shard count.
+func (sdb *ShardedDatabase) Shards() int { return len(sdb.corpus.Parts()) }
+
+// Layout reports each shard's unit and node counts plus the number of
+// spine nodes (cut interior nodes evaluated by a residual sub-engine).
+func (sdb *ShardedDatabase) Layout() (parts []ShardInfo, spineNodes int) {
+	return sdb.corpus.Layout()
+}
+
+// NewEngine prepares a reusable sharded engine for q under opts. The
+// default scorer is built over the whole corpus — sharding never changes
+// scores, only where the work runs. Options.Shards is ignored here: the
+// shard count is the partition's.
+func (sdb *ShardedDatabase) NewEngine(q *Query, opts Options) (*ShardedEngine, error) {
+	cfg, err := engineConfig(sdb.corpus, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	engs, err := sdb.corpus.NewEngines(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sdb.reg != nil {
+		engs.ObserveInto(sdb.reg)
+	}
+	return engs, nil
+}
+
+// TopK evaluates q across all shards and returns the merged k best
+// answers.
+func (sdb *ShardedDatabase) TopK(q *Query, opts Options) (*Result, error) {
+	return sdb.TopKContext(context.Background(), q, opts)
+}
+
+// TopKContext is TopK with cancellation; cancelling ctx winds down every
+// shard promptly.
+func (sdb *ShardedDatabase) TopKContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	e, err := sdb.NewEngine(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunContext(ctx)
+}
+
+// TopKString parses the query and evaluates it across all shards.
+func (sdb *ShardedDatabase) TopKString(xpath string, opts Options) (*Result, error) {
+	q, err := ParseQuery(xpath)
+	if err != nil {
+		return nil, err
+	}
+	return sdb.TopK(q, opts)
 }
 
 // AnswerScore computes the whole-answer tf*idf score of Definition 4.4

@@ -375,3 +375,109 @@ func TestMarkovEstimatorFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestShardedDatabaseFacade(t *testing.T) {
+	db, err := GenerateXMark(XMarkOptions{Seed: 3, Items: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := db.Shard(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sdb.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	if sdb.Size() != db.Size() {
+		t.Fatalf("sharded size %d, database size %d", sdb.Size(), db.Size())
+	}
+	parts, spine := sdb.Layout()
+	if len(parts) != 4 {
+		t.Fatalf("layout has %d parts", len(parts))
+	}
+	total := spine
+	for _, p := range parts {
+		if p.NodeCount <= 0 {
+			t.Fatalf("shard %d holds no nodes", p.Shard)
+		}
+		total += p.NodeCount
+	}
+	if total != db.Size() {
+		t.Fatalf("layout covers %d of %d nodes", total, db.Size())
+	}
+
+	const xpath = "//item[./description/parlist and ./mailbox/mail/text]"
+	base, err := db.TopKString(xpath, Approximate(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sdb.TopKString(xpath, Approximate(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != len(base.Answers) {
+		t.Fatalf("sharded answers = %d, baseline %d", len(res.Answers), len(base.Answers))
+	}
+	for i := range base.Answers {
+		if math.Abs(res.Answers[i].Score-base.Answers[i].Score) > 1e-9 {
+			t.Fatalf("answer %d: sharded score %v, baseline %v",
+				i, res.Answers[i].Score, base.Answers[i].Score)
+		}
+	}
+}
+
+func TestOptionsShardsRoutesThroughShardedDatabase(t *testing.T) {
+	db, err := GenerateXMark(XMarkOptions{Seed: 3, Items: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery("//item[./description/parlist]")
+	base, err := db.TopK(q, Approximate(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Approximate(5)
+	opts.Shards = 8
+	res, err := db.TopK(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != len(base.Answers) {
+		t.Fatalf("answers = %d, want %d", len(res.Answers), len(base.Answers))
+	}
+	for i := range base.Answers {
+		if math.Abs(res.Answers[i].Score-base.Answers[i].Score) > 1e-9 {
+			t.Fatalf("answer %d: %v vs %v", i, res.Answers[i].Score, base.Answers[i].Score)
+		}
+	}
+	// The per-count partition is cached: a second sharded query reuses it.
+	if _, err := db.TopK(q, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Cancellation reaches the shard engines.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.TopKContext(ctx, q, opts); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestShardedDatabaseErrors(t *testing.T) {
+	if _, err := ShardDocument(nil, 2); err == nil {
+		t.Fatal("nil document accepted")
+	}
+	db, err := LoadString(catalogXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Shard(0); err == nil {
+		t.Fatal("zero shard count accepted")
+	}
+	sdb, err := db.Shard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdb.TopK(nil, Approximate(3)); err == nil {
+		t.Fatal("nil query accepted")
+	}
+}
