@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-micro experiments experiments-full fuzz clean
+.PHONY: all build vet lint test race bench bench-check bench-micro profile experiments experiments-full fuzz clean
 
 all: build vet lint test race
 
@@ -12,8 +12,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Whirlpool-specific analyzers (lockguard, floatscore, goroutineleak,
-# ctxpoll); `go run ./cmd/whirlpool-lint -list` describes each. Also
+# Whirlpool-specific analyzers (arenaescape, ctxpoll, floatscore,
+# goroutineleak, lockguard); `go run ./cmd/whirlpool-lint -list`
+# describes each. Also
 # usable as `go vet -vettool=$(shell which whirlpool-lint) ./...`.
 lint:
 	$(GO) run ./cmd/whirlpool-lint ./...
@@ -29,6 +30,17 @@ race:
 # against the committed baseline.
 bench:
 	$(GO) run ./cmd/whirlbench -bench-json BENCH_core.json
+
+# Gate the freshly written report the way CI does: sharded speedup and
+# hot-path allocation budget (≤ 20% of the reuse-disabled baseline).
+bench-check:
+	$(GO) run ./cmd/benchcheck -file BENCH_core.json -case shards-8 -min-speedup 2
+	$(GO) run ./cmd/benchcheck -file BENCH_core.json -min-speedup 0 -alloc-case single -max-alloc-ratio 0.2
+
+# Pinned core benchmark with CPU and allocation profiles; inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof -sample_index=alloc_objects mem.pprof`.
+profile:
+	$(GO) run ./cmd/whirlbench -bench-json BENCH_core.json -cpuprofile cpu.pprof -memprofile mem.pprof
 
 # One benchmark per paper table/figure plus engine micro-benchmarks.
 bench-micro:

@@ -147,6 +147,7 @@ func benchTopK(b *testing.B, alg whirlpool.Algorithm) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var ops int64
 	for i := 0; i < b.N; i++ {

@@ -1,11 +1,17 @@
 // Command benchcheck asserts properties of a BENCH_core.json report
 // (written by `whirlbench -bench-json` / `make bench`). CI uses it to
-// gate on the sharded-execution speedup:
+// gate on the sharded-execution speedup and on the hot path's
+// allocation profile:
 //
 //	benchcheck -file BENCH_core.json -case shards-8 -min-speedup 2
+//	benchcheck -file BENCH_core.json -alloc-case single -max-alloc-ratio 0.2
 //
-// It exits non-zero with a diagnostic when the named case is missing or
-// slower than required.
+// The allocation gate divides the pinned case's allocs/op (arena
+// enabled) by its in-report baseline (the same run with reuse
+// disabled); a ratio of 0.2 demands the memory-reuse layer eliminate at
+// least 80% of hot-path allocations. It exits non-zero with a
+// diagnostic when a named case is missing or a gate fails. Passing
+// -max-alloc-ratio 0 (or -min-speedup 0) skips that gate.
 package main
 
 import (
@@ -18,18 +24,22 @@ import (
 type report struct {
 	Cores int `json:"cores"`
 	Cases []struct {
-		Name    string  `json:"name"`
-		Shards  int     `json:"shards"`
-		NsPerOp int64   `json:"ns_per_op"`
-		Speedup float64 `json:"speedup"`
+		Name                string  `json:"name"`
+		Shards              int     `json:"shards"`
+		NsPerOp             int64   `json:"ns_per_op"`
+		Speedup             float64 `json:"speedup"`
+		AllocsPerOp         int64   `json:"allocs_per_op"`
+		BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op"`
 	} `json:"cases"`
 }
 
 func main() {
 	var (
-		file       = flag.String("file", "BENCH_core.json", "benchmark report to check")
-		caseName   = flag.String("case", "shards-8", "case name to check")
-		minSpeedup = flag.Float64("min-speedup", 2, "required speedup over the single-engine baseline")
+		file          = flag.String("file", "BENCH_core.json", "benchmark report to check")
+		caseName      = flag.String("case", "shards-8", "case name for the speedup gate")
+		minSpeedup    = flag.Float64("min-speedup", 2, "required speedup over the single-engine baseline (0 skips)")
+		allocCase     = flag.String("alloc-case", "single", "case name for the allocation gate")
+		maxAllocRatio = flag.Float64("max-alloc-ratio", 0, "required allocs/op ÷ baseline allocs/op ceiling (0 skips)")
 	)
 	flag.Parse()
 
@@ -41,19 +51,49 @@ func main() {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		fatal(fmt.Errorf("%s: %w", *file, err))
 	}
+	if *minSpeedup > 0 {
+		checkSpeedup(&rep, *file, *caseName, *minSpeedup)
+	}
+	if *maxAllocRatio > 0 {
+		checkAllocs(&rep, *file, *allocCase, *maxAllocRatio)
+	}
+}
+
+func checkSpeedup(rep *report, file, caseName string, minSpeedup float64) {
 	for _, c := range rep.Cases {
-		if c.Name != *caseName {
+		if c.Name != caseName {
 			continue
 		}
-		if c.Speedup < *minSpeedup {
+		if c.Speedup < minSpeedup {
 			fatal(fmt.Errorf("%s: case %s speedup %.2fx < required %.2fx (%d cores, %d ns/op)",
-				*file, c.Name, c.Speedup, *minSpeedup, rep.Cores, c.NsPerOp))
+				file, c.Name, c.Speedup, minSpeedup, rep.Cores, c.NsPerOp))
 		}
 		fmt.Printf("benchcheck: %s speedup %.2fx >= %.2fx (%d cores)\n",
-			c.Name, c.Speedup, *minSpeedup, rep.Cores)
+			c.Name, c.Speedup, minSpeedup, rep.Cores)
 		return
 	}
-	fatal(fmt.Errorf("%s: no case named %q", *file, *caseName))
+	fatal(fmt.Errorf("%s: no case named %q", file, caseName))
+}
+
+func checkAllocs(rep *report, file, caseName string, maxRatio float64) {
+	for _, c := range rep.Cases {
+		if c.Name != caseName {
+			continue
+		}
+		if c.BaselineAllocsPerOp <= 0 {
+			fatal(fmt.Errorf("%s: case %s has no baseline_allocs_per_op (report predates the allocation gate; regenerate with whirlbench -bench-json)",
+				file, c.Name))
+		}
+		ratio := float64(c.AllocsPerOp) / float64(c.BaselineAllocsPerOp)
+		if ratio > maxRatio {
+			fatal(fmt.Errorf("%s: case %s allocs/op ratio %.3f (%d of %d baseline) > allowed %.3f — the hot path regressed its allocation budget",
+				file, c.Name, ratio, c.AllocsPerOp, c.BaselineAllocsPerOp, maxRatio))
+		}
+		fmt.Printf("benchcheck: %s allocs/op %d vs baseline %d (ratio %.3f <= %.3f, %.0f%% reduction)\n",
+			c.Name, c.AllocsPerOp, c.BaselineAllocsPerOp, ratio, maxRatio, (1-ratio)*100)
+		return
+	}
+	fatal(fmt.Errorf("%s: no case named %q", file, caseName))
 }
 
 func fatal(err error) {

@@ -14,6 +14,7 @@
 //	whirlbench -trace run.jsonl  # dump one run's engine events as JSONL
 //	whirlbench -shards 1,2,4,8   # sharded-execution scaling sweep
 //	whirlbench -bench-json BENCH_core.json   # pinned core benchmark → JSON
+//	whirlbench -bench-json BENCH_core.json -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -31,19 +34,21 @@ import (
 
 func main() {
 	var (
-		fig       = flag.Int("fig", 0, "run a single figure (3, 5, 6, 7, 8, 9, 10, 11); 0 = all")
-		tableNo   = flag.Int("table", 0, "run a single table (2); 0 = all")
-		ablations = flag.Bool("ablations", false, "run only the queue/scoring ablations")
-		full      = flag.Bool("full", false, "paper-scale documents (1/10/50 MB) and 1.8 ms op cost")
-		scale     = flag.Float64("scale", 0, "document scale factor vs the paper's sizes (default 0.02)")
-		k         = flag.Int("k", 0, "top-k (default 15)")
-		seed      = flag.Int64("seed", 0, "generator seed (default 1)")
-		opcost    = flag.Duration("opcost", 0, "synthetic per-operation cost (default 100µs)")
-		orders    = flag.Int("orders", 0, "static permutations to sweep (default all 120)")
-		trace     = flag.String("trace", "", "dump one representative run's engine events to FILE as JSONL and exit")
-		shards    = flag.String("shards", "", "comma-separated shard counts to sweep (e.g. 1,2,4,8) and exit")
-		benchJSON = flag.String("bench-json", "", "run the pinned core benchmark, write the JSON report to FILE and exit")
-		benchFast = flag.Bool("bench-short", false, "with -bench-json: smaller document and fewer rounds (CI short mode)")
+		fig        = flag.Int("fig", 0, "run a single figure (3, 5, 6, 7, 8, 9, 10, 11); 0 = all")
+		tableNo    = flag.Int("table", 0, "run a single table (2); 0 = all")
+		ablations  = flag.Bool("ablations", false, "run only the queue/scoring ablations")
+		full       = flag.Bool("full", false, "paper-scale documents (1/10/50 MB) and 1.8 ms op cost")
+		scale      = flag.Float64("scale", 0, "document scale factor vs the paper's sizes (default 0.02)")
+		k          = flag.Int("k", 0, "top-k (default 15)")
+		seed       = flag.Int64("seed", 0, "generator seed (default 1)")
+		opcost     = flag.Duration("opcost", 0, "synthetic per-operation cost (default 100µs)")
+		orders     = flag.Int("orders", 0, "static permutations to sweep (default all 120)")
+		trace      = flag.String("trace", "", "dump one representative run's engine events to FILE as JSONL and exit")
+		shards     = flag.String("shards", "", "comma-separated shard counts to sweep (e.g. 1,2,4,8) and exit")
+		benchJSON  = flag.String("bench-json", "", "run the pinned core benchmark, write the JSON report to FILE and exit")
+		benchFast  = flag.Bool("bench-short", false, "with -bench-json: smaller document and fewer rounds (CI short mode)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to FILE")
+		memprofile = flag.String("memprofile", "", "write an allocs/heap profile to FILE on exit")
 	)
 	flag.Parse()
 
@@ -63,36 +68,72 @@ func main() {
 		}
 	}
 
-	if *trace != "" {
-		if err := dumpTrace(os.Stdout, cfg, *trace); err != nil {
-			fmt.Fprintln(os.Stderr, "whirlbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *benchJSON != "" {
-		if err := bench.BenchCore(os.Stdout, *benchJSON, *benchFast); err != nil {
-			fmt.Fprintln(os.Stderr, "whirlbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *shards != "" {
-		counts, err := parseCounts(*shards)
-		if err == nil {
-			err = bench.ShardSweep(os.Stdout, cfg, counts)
-		}
+	// Profiles bracket the selected experiment so the pprof output
+	// covers exactly the measured work; they are flushed before any
+	// error exit so a failing run still leaves usable profiles.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "whirlbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		return
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
 	}
 
-	if err := run(os.Stdout, cfg, *fig, *tableNo, *ablations); err != nil {
-		fmt.Fprintln(os.Stderr, "whirlbench:", err)
-		os.Exit(1)
+	err := dispatch(cfg, *trace, *benchJSON, *benchFast, *shards, *fig, *tableNo, *ablations)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
 	}
+	if *memprofile != "" {
+		if perr := writeMemProfile(*memprofile); err == nil && perr != nil {
+			err = perr
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// dispatch runs the experiment the flags selected.
+func dispatch(cfg bench.Config, trace, benchJSON string, benchFast bool, shards string, fig, tableNo int, ablations bool) error {
+	switch {
+	case trace != "":
+		return dumpTrace(os.Stdout, cfg, trace)
+	case benchJSON != "":
+		return bench.BenchCore(os.Stdout, benchJSON, benchFast)
+	case shards != "":
+		counts, err := parseCounts(shards)
+		if err != nil {
+			return err
+		}
+		return bench.ShardSweep(os.Stdout, cfg, counts)
+	default:
+		return run(os.Stdout, cfg, fig, tableNo, ablations)
+	}
+}
+
+// writeMemProfile records the cumulative allocation profile (every
+// allocation site, not just live heap) after a final GC, the view the
+// zero-allocation hot-path work optimizes for.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "whirlbench:", err)
+	os.Exit(1)
 }
 
 // parseCounts parses the -shards list ("1,2,4,8").

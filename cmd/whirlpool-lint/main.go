@@ -1,5 +1,6 @@
 // Command whirlpool-lint runs the Whirlpool analyzer suite
-// (internal/analysis): lockguard, floatscore, goroutineleak, ctxpoll.
+// (internal/analysis): arenaescape, ctxpoll, floatscore, goroutineleak,
+// lockguard.
 //
 // Standalone, over package patterns (exit 1 on findings):
 //

@@ -121,6 +121,25 @@ func hasAnnotation(fn *ast.FuncDecl, tag string) bool {
 	return false
 }
 
+// hasTypeAnnotation reports whether the type declaration carries the
+// given whirllint annotation. The doc comment may sit on the TypeSpec
+// (grouped `type (...)` declarations) or on the enclosing GenDecl (the
+// common single-type form); both are honoured.
+func hasTypeAnnotation(gd *ast.GenDecl, ts *ast.TypeSpec, tag string) bool {
+	want := annotationPrefix + tag
+	for _, doc := range []*ast.CommentGroup{ts.Doc, gd.Doc} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // funcDecls yields every function declaration in the pass's files.
 func funcDecls(pass *Pass) []*ast.FuncDecl {
 	var out []*ast.FuncDecl

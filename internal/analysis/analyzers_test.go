@@ -17,6 +17,7 @@ func TestAnalyzers(t *testing.T) {
 		name     string
 		analyzer *analysis.Analyzer
 	}{
+		{"arenaescape", analysis.ArenaEscape},
 		{"lockguard", analysis.LockGuard},
 		{"floatscore", analysis.FloatScore},
 		{"goroutineleak", analysis.GoroutineLeak},
@@ -43,7 +44,7 @@ func TestRegistry(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, ",")
-	want := "ctxpoll,floatscore,goroutineleak,lockguard"
+	want := "arenaescape,ctxpoll,floatscore,goroutineleak,lockguard"
 	if got != want {
 		t.Fatalf("All() = %s, want %s", got, want)
 	}

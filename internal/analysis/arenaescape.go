@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ArenaEscape enforces the match arena's ownership rule (see
+// internal/core/arena.go): a `*match` obtained from the arena has
+// exactly one holder and may be recycled — its fields scrambled, its
+// bindings handed to another match — the moment it is released. A
+// struct field holding a `*match` (directly, or through a slice, array,
+// map, or channel) is therefore a standing escape hazard: the struct
+// can outlive the match's release and read recycled state. Anything
+// that outlives a match must copy out of it, the way topkSet.offer
+// copies bindings into entry-owned storage.
+//
+// The sanctioned holders — the arena's own freelist, the priority-queue
+// element, a worker's scratch buffers — declare themselves with the
+// annotation on the type's doc comment:
+//
+//	// +whirllint:matchowner
+//
+// Only the type's direct fields are examined; a field of another named
+// type is that type's own responsibility, so each holder is reported
+// (or annotated) exactly once, at its declaration.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc:  "report struct fields that retain arena-owned *match values past release",
+	Run:  runArenaEscape,
+}
+
+// ArenaEscapeScope limits the analyzer to the packages that handle
+// arena-owned matches. A package is in scope when its import path
+// contains one of these substrings.
+var ArenaEscapeScope = []string{"internal/core", "testdata/src/arenaescape"}
+
+func runArenaEscape(pass *Pass) error {
+	inScope := false
+	for _, s := range ArenaEscapeScope {
+		if strings.Contains(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || ts.Name.Name == "match" {
+					continue
+				}
+				if hasTypeAnnotation(gd, ts, "matchowner") {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					t := pass.TypesInfo.TypeOf(fld.Type)
+					if t != nil && holdsMatch(t, pass.Pkg) {
+						pass.Reportf(fld.Pos(),
+							"struct field retains an arena-owned *match, which may be recycled after release; copy what outlives the match out of it, or annotate the type %smatchowner",
+							annotationPrefix)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// holdsMatch reports whether t is, or directly contains, a pointer to
+// this package's match type. Named types other than match terminate the
+// walk: their own declaration is checked separately.
+func holdsMatch(t types.Type, pkg *types.Package) bool {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return isPkgMatch(t.Elem(), pkg)
+	case *types.Slice:
+		return holdsMatch(t.Elem(), pkg)
+	case *types.Array:
+		return holdsMatch(t.Elem(), pkg)
+	case *types.Map:
+		return holdsMatch(t.Key(), pkg) || holdsMatch(t.Elem(), pkg)
+	case *types.Chan:
+		return holdsMatch(t.Elem(), pkg)
+	}
+	return false
+}
+
+// isPkgMatch reports whether t is the named type `match` declared in
+// pkg itself.
+func isPkgMatch(t types.Type, pkg *types.Package) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "match" && obj.Pkg() == pkg
+}

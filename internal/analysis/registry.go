@@ -2,5 +2,5 @@ package analysis
 
 // All returns every Whirlpool analyzer, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxPoll, FloatScore, GoroutineLeak, LockGuard}
+	return []*Analyzer{ArenaEscape, CtxPoll, FloatScore, GoroutineLeak, LockGuard}
 }

@@ -1,0 +1,49 @@
+// Package arenaescape is golden testdata for the arenaescape analyzer.
+package arenaescape
+
+// match mirrors the engine's arena-owned partial match; its own fields
+// are never reported.
+type match struct {
+	score    float64
+	bindings []*match
+}
+
+// freelist is a sanctioned holder: the arena's own recycling store.
+// +whirllint:matchowner
+type freelist struct {
+	free []*match
+}
+
+// scratch is a sanctioned holder via a grouped declaration.
+type (
+	// +whirllint:matchowner
+	scratch struct {
+		exts []*match
+	}
+)
+
+// entry copies scores out of matches instead of retaining them — no
+// *match fields, nothing to report.
+type entry struct {
+	score float64
+	seqs  []int64
+}
+
+type leak struct {
+	best *match // want `retains an arena-owned \*match`
+}
+
+type sliceLeak struct {
+	batch []*match // want `retains an arena-owned \*match`
+}
+
+type deepLeak struct {
+	byRoot map[int][]*match // want `retains an arena-owned \*match`
+	feed   chan *match      // want `retains an arena-owned \*match`
+}
+
+// wrapped holds another named holder type; that type's declaration is
+// the responsible (and annotated) one, so wrapped itself stays silent.
+type wrapped struct {
+	fl freelist
+}

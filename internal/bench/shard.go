@@ -56,6 +56,15 @@ type shardMeasure struct {
 	stats core.Stats
 	skew  float64 // slowest shard / mean shard duration (1.0 when unsharded)
 	depth int     // peak queue depth across all shards
+
+	// Allocation profile of one steady-state run, plus the same run
+	// with the match arena disabled (core.Config.DisableReuse) — the
+	// in-report baseline the allocation-regression gate divides by, so
+	// the ≥80%-reduction check is host- and scale-independent.
+	allocsPerOp  int64
+	bytesPerOp   int64
+	baseAllocsOp int64
+	baseBytesOp  int64
 }
 
 // runner abstracts the single and sharded engines for measurement.
@@ -113,7 +122,38 @@ func measureShards(env *Env, w Workload, cfg Config, p int, rounds int) (*shardM
 	}
 	m.depth = sink.peakDepth()
 	m.skew = sink.skew()
+	if m.allocsPerOp, m.bytesPerOp, err = measureAllocs(build, base); err != nil {
+		return nil, err
+	}
+	baseline := base
+	baseline.DisableReuse = true
+	if m.baseAllocsOp, m.baseBytesOp, err = measureAllocs(build, baseline); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// measureAllocs reports the heap allocations and bytes of one
+// steady-state run of the configuration: a warm-up run first (postings
+// decode lazily, caches fill), then one measured run bracketed by
+// ReadMemStats. Mallocs/TotalAlloc are process-global, so this assumes
+// no concurrent benchmark activity — exactly the whirlbench setting.
+func measureAllocs(build func(core.Config) (benchRunner, error), cfg core.Config) (allocs, bytes int64, err error) {
+	eng, err := build(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := eng.Run(); err != nil {
+		return 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := eng.Run(); err != nil {
+		return 0, 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return int64(after.Mallocs - before.Mallocs), int64(after.TotalAlloc - before.TotalAlloc), nil
 }
 
 // depthSink is a minimal TraceSink recording the peak queue depth and,
@@ -184,6 +224,13 @@ type benchCase struct {
 	PrunedRemote   int64   `json:"pruned_remote"`
 	PeakQueueDepth int     `json:"peak_queue_depth"`
 	ShardSkew      float64 `json:"shard_skew"`
+	// Allocation profile of one steady-state run, with the match arena
+	// enabled (the shipping configuration) and disabled (the baseline
+	// the benchcheck allocation gate compares against).
+	AllocsPerOp         int64 `json:"allocs_per_op"`
+	BytesPerOp          int64 `json:"bytes_per_op"`
+	BaselineAllocsPerOp int64 `json:"baseline_allocs_per_op"`
+	BaselineBytesPerOp  int64 `json:"baseline_bytes_per_op"`
 }
 
 // benchReport is the BENCH_core.json schema: one pinned workload
@@ -241,19 +288,24 @@ func BenchCore(out io.Writer, path string, short bool) error {
 			name = fmt.Sprintf("shards-%d", p)
 		}
 		rep.Cases = append(rep.Cases, benchCase{
-			Name:           name,
-			Shards:         p,
-			NsPerOp:        m.wall.Nanoseconds(),
-			Speedup:        float64(base) / float64(m.wall),
-			MatchesCreated: m.stats.MatchesCreated,
-			Pruned:         m.stats.Pruned,
-			PrunedRemote:   m.stats.PrunedRemote,
-			PeakQueueDepth: m.depth,
-			ShardSkew:      m.skew,
+			Name:                name,
+			Shards:              p,
+			NsPerOp:             m.wall.Nanoseconds(),
+			Speedup:             float64(base) / float64(m.wall),
+			MatchesCreated:      m.stats.MatchesCreated,
+			Pruned:              m.stats.Pruned,
+			PrunedRemote:        m.stats.PrunedRemote,
+			PeakQueueDepth:      m.depth,
+			ShardSkew:           m.skew,
+			AllocsPerOp:         m.allocsPerOp,
+			BytesPerOp:          m.bytesPerOp,
+			BaselineAllocsPerOp: m.baseAllocsOp,
+			BaselineBytesPerOp:  m.baseBytesOp,
 		})
-		fmt.Fprintf(out, "bench: %-8s %12d ns/op  %.2fx  created=%d pruned=%d remote=%d depth=%d\n",
+		fmt.Fprintf(out, "bench: %-8s %12d ns/op  %.2fx  created=%d pruned=%d remote=%d depth=%d allocs=%d/%d\n",
 			name, m.wall.Nanoseconds(), float64(base)/float64(m.wall),
-			m.stats.MatchesCreated, m.stats.Pruned, m.stats.PrunedRemote, m.depth)
+			m.stats.MatchesCreated, m.stats.Pruned, m.stats.PrunedRemote, m.depth,
+			m.allocsPerOp, m.baseAllocsOp)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -12,15 +12,21 @@ import (
 // possible final score by default, the MPro/Upper-style schedule).
 func (r *run) runS() {
 	var q pq
+	sc := &scratch{}
 	for _, m := range r.initialMatches() {
 		if r.checkTopK(m) {
 			q.push(m, r.priority(m, -1))
+		} else {
+			r.release(m)
 		}
 	}
 	batchSize := r.cfg.RouterBatch
 	if batchSize < 1 {
 		batchSize = 1
 	}
+	// batch and skipped are reused across router iterations so the
+	// steady-state loop allocates nothing.
+	var batch, skipped []*match
 	for {
 		if r.cancelled() {
 			return
@@ -32,15 +38,16 @@ func (r *run) runS() {
 		// currentTopK may have grown since the match was queued.
 		if r.prunable(m) {
 			r.prune()
+			r.release(m)
 			continue
 		}
 		sid := r.nextServer(m)
 		r.traceRoute(m, sid)
 		r.traceDepth(-1, q.len())
-		batch := []*match{m}
+		batch = append(batch[:0], m)
 		// Bulk adaptivity: matches adjacent in the router queue (and so
 		// closest in priority) share the head's routing decision.
-		var skipped []*match
+		skipped = skipped[:0]
 		for len(batch) < batchSize {
 			m2, ok := q.pop()
 			if !ok {
@@ -48,6 +55,7 @@ func (r *run) runS() {
 			}
 			if r.prunable(m2) {
 				r.prune()
+				r.release(m2)
 				continue
 			}
 			if m2.isVisited(sid) {
@@ -58,11 +66,14 @@ func (r *run) runS() {
 			batch = append(batch, m2)
 		}
 		for _, bm := range batch {
-			for _, ext := range r.process(bm, sid) {
+			for _, ext := range r.process(bm, sid, sc) {
 				if r.checkTopK(ext) {
 					q.push(ext, r.priority(ext, -1))
+				} else {
+					r.release(ext)
 				}
 			}
+			r.release(bm)
 		}
 		for _, sm := range skipped {
 			q.push(sm, r.priority(sm, -1))
@@ -76,6 +87,7 @@ func (r *run) runS() {
 // the paper's LockStep (≈ OptThres [2]); without it, everything is
 // evaluated and the k best matches selected at the end (LockStep-NoPrun).
 func (r *run) runLockStep(prune bool) {
+	sc := &scratch{}
 	alive := r.initialMatches()
 	if prune {
 		alive = r.filterAlive(alive)
@@ -96,21 +108,26 @@ func (r *run) runLockStep(prune bool) {
 			}
 			if prune && r.prunable(m) {
 				r.prune()
+				r.release(m)
 				continue
 			}
-			for _, ext := range r.process(m, sid) {
+			for _, ext := range r.process(m, sid, sc) {
 				if prune && !r.checkTopK(ext) {
+					r.release(ext)
 					continue
 				}
 				next = append(next, ext)
 			}
+			r.release(m)
 		}
 		alive = next
 	}
 	if !prune {
-		// All survivors are complete; select the k best now.
+		// All survivors are complete; select the k best now. offer
+		// copies out of the match, so it can be released immediately.
 		for _, m := range alive {
 			r.topk.offer(m, r.shardID)
+			r.release(m)
 		}
 	}
 }
@@ -120,6 +137,8 @@ func (r *run) filterAlive(ms []*match) []*match {
 	for _, m := range ms {
 		if r.checkTopK(m) {
 			out = append(out, m)
+		} else {
+			r.release(m)
 		}
 	}
 	return out
@@ -185,6 +204,8 @@ func (r *run) runM() {
 	for _, m := range r.initialMatches() {
 		if r.checkTopK(m) {
 			survivors = append(survivors, m)
+		} else {
+			r.release(m)
 		}
 	}
 	if len(survivors) == 0 {
@@ -208,22 +229,30 @@ func (r *run) runM() {
 // queue, process it, check extensions against the top-k set, and hand
 // survivors back to the router.
 func (r *run) serveM(sid int, in *blockingPQ, routerQ *blockingPQ, live *liveCounter) {
+	sc := &scratch{}
+	var survivors []*match
 	for {
 		m, ok := in.pop()
 		if !ok {
 			return
 		}
 		if r.cancelled() {
+			r.release(m)
 			live.add(-1) // drain so the live counter reaches zero
 			continue
 		}
-		var survivors []*match
-		for _, ext := range r.process(m, sid) {
+		survivors = survivors[:0]
+		for _, ext := range r.process(m, sid, sc) {
 			if r.checkTopK(ext) {
 				survivors = append(survivors, ext)
+			} else {
+				r.release(ext)
 			}
 		}
-		// Count children in before releasing the parent so the live
+		// The parent's extensions have copied everything they need;
+		// recycle it before handing survivors on.
+		r.release(m)
+		// Count children in before decrementing the parent so the live
 		// counter can never dip to zero mid-flight.
 		live.add(int64(len(survivors)))
 		for _, s := range survivors {
@@ -248,11 +277,13 @@ func (r *run) routeM(routerQ *blockingPQ, serverQs []*blockingPQ, live *liveCoun
 			return
 		}
 		if r.cancelled() {
+			r.release(m)
 			live.add(-1) // drain so the live counter reaches zero
 			continue
 		}
 		if r.prunable(m) {
 			r.prune()
+			r.release(m)
 			live.add(-1)
 			continue
 		}
@@ -269,6 +300,7 @@ func (r *run) routeM(routerQ *blockingPQ, serverQs []*blockingPQ, live *liveCoun
 			}
 			if r.prunable(m2) {
 				r.prune()
+				r.release(m2)
 				live.add(-1)
 				continue
 			}

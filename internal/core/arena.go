@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xmltree"
+)
+
+// arenaChunk is the number of matches carved per slab allocation: one
+// []match block plus one flat bindings block amortize to two heap
+// allocations per arenaChunk matches instead of two per match.
+const arenaChunk = 256
+
+// arenaPoison, when set by a test, makes release scramble every field of
+// a recycled match before it reaches the freelist, so any use of a match
+// past its release shows up as corrupted scores or nil bindings instead
+// of silently reading stale-but-plausible data.
+var arenaPoison atomic.Bool
+
+// matchArena recycles the run's dead matches — pruned, completed, or
+// consumed by a server operation — instead of dropping them for the GC.
+// Section 5.2.1's server operation spawns one match per extension; on a
+// pinned Q2 run that is ~62k matches plus as many bindings slices, all
+// short-lived. The arena caps that churn: bindings come from chunked
+// flat slabs (queries are capped at 64 nodes by Config.validate, so one
+// slab holds arenaChunk vectors), and a released match returns to a
+// freelist with its bindings slice attached, ready to be overwritten.
+//
+// Ownership rules (enforced by whirllint's arenaescape analyzer):
+//
+//   - a *match obtained from get is owned by exactly one holder at a
+//     time: a queue, a batch slice, or the goroutine processing it;
+//   - release transfers ownership back to the arena — the caller must
+//     not touch the match afterwards;
+//   - anything that outlives the match must copy out of it, never alias
+//     it: the top-k set copies bindings into entry-owned storage
+//     (topkSet.offer) precisely so completed matches can be released.
+//
+// Whirlpool-S and the LockStep algorithms run single-goroutine, so they
+// get one unlocked shard. Whirlpool-M's server workers allocate and
+// release concurrently, so the arena shards its freelists (each behind
+// its own mutex) and every match remembers its home shard: get spreads
+// over shards round-robin, release returns to the home shard, keeping
+// goroutines from serializing on a single freelist lock.
+type matchArena struct {
+	n        int // bindings per match == query size
+	disabled bool
+	// locked is set for concurrent (Whirlpool-M) arenas: shard mutexes
+	// are taken on every get/release. It is independent of the shard
+	// count — GOMAXPROCS=1 still runs multiple goroutines.
+	locked bool
+	shards []arenaShard
+	ctr    atomic.Uint32 // round-robin get cursor (concurrent arenas)
+}
+
+// arenaShard is one freelist plus its slab cursor. The pad keeps
+// neighbouring shards out of one cache line under Whirlpool-M.
+// +whirllint:matchowner
+type arenaShard struct {
+	mu   sync.Mutex
+	free []*match
+	slab []match         // current match slab, carved sequentially
+	bnd  []*xmltree.Node // current flat bindings slab
+	_    [64]byte
+}
+
+// newMatchArena sizes the arena for matches of n bindings. concurrent
+// selects the sharded (locked) layout for Whirlpool-M; disabled turns
+// every get into a plain allocation and release into a no-op — the
+// allocation-baseline and debugging escape hatch (Config.DisableReuse).
+func newMatchArena(n int, concurrent, disabled bool) *matchArena {
+	a := &matchArena{n: n, disabled: disabled, locked: concurrent && !disabled}
+	nshards := 1
+	if a.locked {
+		nshards = runtime.GOMAXPROCS(0)
+		if nshards > 16 {
+			nshards = 16
+		}
+		if nshards < 1 {
+			nshards = 1
+		}
+	}
+	a.shards = make([]arenaShard, nshards)
+	return a
+}
+
+// get returns a cleared match with a bindings slice of the arena's
+// width: recycled when the freelist has one, otherwise carved from the
+// current slab.
+func (a *matchArena) get() *match {
+	if a.disabled {
+		return &match{bindings: make([]*xmltree.Node, a.n)}
+	}
+	idx := 0
+	s := &a.shards[0]
+	if a.locked {
+		idx = int(a.ctr.Add(1)) % len(a.shards)
+		s = &a.shards[idx]
+		s.mu.Lock()
+	}
+	m := s.getLocked(a.n, int32(idx))
+	if a.locked {
+		s.mu.Unlock()
+	}
+	return m
+}
+
+// getLocked pops the freelist or carves the slab. Callers hold s.mu
+// when the arena is sharded; the single-shard layout has no lock to
+// hold, which the annotation records.
+// +whirllint:locked
+func (s *arenaShard) getLocked(n int, home int32) *match {
+	if ln := len(s.free); ln > 0 {
+		m := s.free[ln-1]
+		s.free[ln-1] = nil
+		s.free = s.free[:ln-1]
+		clear(m.bindings)
+		m.visited, m.missing = 0, 0
+		m.score, m.maxFinal = 0, 0
+		m.seq = 0
+		return m
+	}
+	if len(s.slab) == 0 {
+		s.slab = make([]match, arenaChunk)
+		s.bnd = make([]*xmltree.Node, arenaChunk*n)
+	}
+	m := &s.slab[0]
+	s.slab = s.slab[1:]
+	m.bindings = s.bnd[:n:n]
+	s.bnd = s.bnd[n:]
+	m.home = home
+	return m
+}
+
+// release returns a dead match to the arena. The caller gives up
+// ownership: the match may be handed out again by the very next get, so
+// no reference to it — or to its bindings slice — may be retained.
+// Nil-safe; a no-op when reuse is disabled.
+func (a *matchArena) release(m *match) {
+	if m == nil || a.disabled {
+		return
+	}
+	if arenaPoison.Load() {
+		for i := range m.bindings {
+			m.bindings[i] = nil
+		}
+		m.visited, m.missing = ^uint64(0), ^uint64(0)
+		m.score, m.maxFinal = math.NaN(), math.Inf(-1)
+		m.seq = -1
+	}
+	s := &a.shards[m.home]
+	if a.locked {
+		s.mu.Lock()
+		s.free = append(s.free, m)
+		s.mu.Unlock()
+		return
+	}
+	s.free = append(s.free, m)
+}
+
+// release is the run-level entry point every algorithm uses when a
+// match dies: pruned, completed, failed an inner join, or consumed by a
+// server operation that spawned its extensions.
+func (r *run) release(m *match) { r.arena.release(m) }

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/score"
+	"repro/internal/xmltree"
+)
+
+// TestArenaGetReleaseRecycles pins the freelist mechanics: a released
+// match is handed out again by the next get, fully cleared, with its
+// bindings slice retained (no fresh allocation) but wiped.
+func TestArenaGetReleaseRecycles(t *testing.T) {
+	a := newMatchArena(3, false, false)
+	m := a.get()
+	if len(m.bindings) != 3 {
+		t.Fatalf("bindings len = %d, want 3", len(m.bindings))
+	}
+	n := &xmltree.Node{Tag: "x"}
+	m.bindings[1] = n
+	m.visited, m.missing = 5, 2
+	m.score, m.maxFinal, m.seq = 1.5, 2.5, 42
+	a.release(m)
+	m2 := a.get()
+	if m2 != m {
+		t.Fatal("released match was not recycled by the next get")
+	}
+	for i, b := range m2.bindings {
+		if b != nil {
+			t.Fatalf("recycled bindings[%d] = %v, want nil", i, b)
+		}
+	}
+	if m2.visited != 0 || m2.missing != 0 || m2.score != 0 || m2.maxFinal != 0 || m2.seq != 0 {
+		t.Fatalf("recycled match not cleared: %+v", m2)
+	}
+	// Distinct lives never alias.
+	m3 := a.get()
+	if m3 == m2 {
+		t.Fatal("two live matches alias")
+	}
+	if &m3.bindings[0] == &m2.bindings[0] {
+		t.Fatal("two live matches share a bindings slice")
+	}
+	a.release(nil) // nil-safe
+}
+
+// TestArenaDisabled checks the DisableReuse escape hatch: every get is a
+// fresh allocation and release never recycles.
+func TestArenaDisabled(t *testing.T) {
+	a := newMatchArena(2, false, true)
+	m := a.get()
+	a.release(m)
+	if m2 := a.get(); m2 == m {
+		t.Fatal("disabled arena recycled a match")
+	}
+}
+
+// TestArenaConcurrentRoundTrip exercises the sharded (locked) layout
+// under -race: goroutines get, populate, and release matches through the
+// same arena; every handed-out match must be exclusively owned.
+func TestArenaConcurrentRoundTrip(t *testing.T) {
+	a := newMatchArena(4, true, false)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			n := &xmltree.Node{Ord: g}
+			ok := true
+			for i := 0; i < 500; i++ {
+				m := a.get()
+				m.bindings[0] = n
+				m.seq = int64(g)
+				if m.bindings[0] != n || m.seq != int64(g) {
+					ok = false
+				}
+				a.release(m)
+			}
+			done <- ok
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("a match was mutated while owned")
+		}
+	}
+}
+
+// arenaAlgorithms are the algorithm x relaxation grid the poison
+// property tests sweep: every serving loop, with and without the
+// relaxations that change the match lifecycle (null extensions, partial
+// offers).
+var arenaAlgorithms = []Algorithm{WhirlpoolS, WhirlpoolM, LockStep, LockStepNoPrune}
+
+// TestArenaPoisonEquivalence is the leak/reuse property test: with
+// arenaPoison on, release scrambles every field of a recycled match —
+// so if any released match were still reachable from the top-k set, a
+// queue, or a batch slice, answers would come back with nil bindings or
+// NaN scores. Identical answers with poison on and off therefore prove
+// no algorithm retains a match past its release. Run with -race to also
+// catch cross-goroutine reuse in Whirlpool-M.
+func TestArenaPoisonEquivalence(t *testing.T) {
+	ix, q := buildEnv(t, booksXML, "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
+	s := score.NewTFIDF(ix, q, score.Sparse)
+	for _, rl := range []relax.Relaxation{relax.None, relax.All} {
+		for _, alg := range arenaAlgorithms {
+			t.Run(fmt.Sprintf("%v/%v", alg, rl), func(t *testing.T) {
+				cfg := Config{K: 4, Relax: rl, Algorithm: alg, Routing: RoutingMinAlive, Scorer: s}
+				want := runWith(t, ix, q, cfg)
+				arenaPoison.Store(true)
+				defer arenaPoison.Store(false)
+				got := runWith(t, ix, q, cfg)
+				if len(got.Answers) != len(want.Answers) {
+					t.Fatalf("answers = %d, want %d", len(got.Answers), len(want.Answers))
+				}
+				for i := range want.Answers {
+					w, g := want.Answers[i], got.Answers[i]
+					if g.Score != w.Score || math.IsNaN(g.Score) {
+						t.Fatalf("answer %d score = %v, want %v", i, g.Score, w.Score)
+					}
+					if g.Root != w.Root {
+						t.Fatalf("answer %d root = %v, want %v", i, g.Root, w.Root)
+					}
+					for j := range w.Bindings {
+						if g.Bindings[j] != w.Bindings[j] {
+							t.Fatalf("answer %d binding %d = %v, want %v", i, j, g.Bindings[j], w.Bindings[j])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTopKDoesNotRetainReleasedMatch pins the copy-out contract of
+// topkSet.offer: entries own their bindings, so poisoning the offered
+// match after release must not corrupt the recorded answer.
+func TestTopKDoesNotRetainReleasedMatch(t *testing.T) {
+	arenaPoison.Store(true)
+	defer arenaPoison.Store(false)
+	a := newMatchArena(2, false, false)
+	tk := newTopkSet(1, 0, false)
+	root := &xmltree.Node{Tag: "r", Ord: 7}
+	leaf := &xmltree.Node{Tag: "l", Ord: 8}
+	m := a.get()
+	m.bindings[0], m.bindings[1] = root, leaf
+	m.visited = 3
+	m.score = 0.9
+	m.seq = 1
+	tk.offer(m, 0)
+	a.release(m) // poisons bindings to nil, score to NaN
+	ans := tk.answers()
+	if len(ans) != 1 {
+		t.Fatalf("answers = %d, want 1", len(ans))
+	}
+	if ans[0].Root != root || ans[0].Bindings[1] != leaf || ans[0].Score != 0.9 {
+		t.Fatalf("answer corrupted by release: %+v", ans[0])
+	}
+}
+
+// BenchmarkProcessAllocs measures — and asserts — the zero-allocation
+// steady state of the server operation: once the scratch buffers have
+// grown and the arena freelist is primed, process + release must not
+// allocate at all.
+func BenchmarkProcessAllocs(b *testing.B) {
+	doc, err := xmltree.ParseString(booksXML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := index.Build(doc)
+	q := pattern.MustParse("/book[./title and ./info/isbn]")
+	s := score.NewTFIDF(ix, q, score.Sparse)
+	e, err := New(ix, q, Config{K: 2, Relax: relax.All, Algorithm: WhirlpoolS, Routing: RoutingMinAlive, Scorer: s})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shared := NewSharedTopK(2, 0)
+	r := &run{
+		Engine: e,
+		topk:   shared.set,
+		arena:  newMatchArena(q.Size(), false, false),
+		ctx:    context.Background(),
+	}
+	r.lastThreshold.Store(math.Float64bits(math.Inf(-1)))
+	m := r.arena.get()
+	m.bindings[0] = ix.Nodes("book")[0]
+	m.visited = 1
+	m.seq = r.nextSeq()
+	sc := &scratch{}
+	step := func() {
+		for _, sid := range []int{1, 2} {
+			for _, x := range r.process(m, sid, sc) {
+				r.release(x)
+			}
+		}
+	}
+	step() // warm-up: slab carve, scratch growth, lazy index fills
+	if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+		b.Fatalf("process allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

@@ -166,6 +166,12 @@ type Config struct {
 	// Whirlpool-M the sink is invoked from multiple goroutines and must
 	// be safe for concurrent use.
 	Trace obs.TraceSink
+	// DisableReuse turns off the per-run match arena: every partial
+	// match and bindings slice is heap-allocated and release is a
+	// no-op, as before the arena existed. It is the allocation-
+	// measurement baseline (internal/bench records both modes) and a
+	// debugging escape hatch; answers and stats are unaffected.
+	DisableReuse bool
 	// RouterBatch, when above 1, makes the adaptive router take routing
 	// decisions for groups of up to RouterBatch queue-adjacent partial
 	// matches at once (the paper's "adaptivity in bulk" future-work

@@ -177,7 +177,7 @@ func (e *Engine) Run() (*Result, error) { return e.RunContext(context.Background
 // partial result is discarded).
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	shared := NewSharedTopK(e.cfg.K, e.cfg.Threshold)
-	stats, err := e.RunShared(ctx, shared, 0)
+	stats, err := e.runShared(ctx, shared, 0, false)
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +192,13 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 // the set's Answers — not any single run's — are the merged result.
 // The set's capacity must equal the engine's Config.K.
 func (e *Engine) RunShared(ctx context.Context, shared *SharedTopK, shardID int) (Stats, error) {
+	return e.runShared(ctx, shared, shardID, true)
+}
+
+// runShared is the common run body. sharded records whether sibling
+// shards may share the top-k set: standalone runs (RunContext) pass
+// false and skip the per-prune threshold-source attribution.
+func (e *Engine) runShared(ctx context.Context, shared *SharedTopK, shardID int, sharded bool) (Stats, error) {
 	if shared.set.k != e.cfg.K {
 		return Stats{}, fmt.Errorf("core: shared top-k capacity %d != Config.K %d", shared.set.k, e.cfg.K)
 	}
@@ -201,7 +208,9 @@ func (e *Engine) RunShared(ctx context.Context, shared *SharedTopK, shardID int)
 	r := &run{
 		Engine:  e,
 		topk:    shared.set,
+		arena:   newMatchArena(e.query.Size(), e.cfg.Algorithm == WhirlpoolM, e.cfg.DisableReuse),
 		shardID: int32(shardID),
+		sharded: sharded,
 		ctx:     ctx,
 	}
 	r.lastThreshold.Store(math.Float64bits(math.Inf(-1)))
@@ -316,13 +325,12 @@ func (r *run) initialMatches() []*match {
 			variant = score.Relaxed
 		}
 		contrib := e.cfg.Scorer.Contribution(0, variant, c)
-		m := &match{
-			bindings: makeBindings(e.query.Size(), c),
-			visited:  1,
-			score:    contrib,
-			maxFinal: contrib + e.sumMax,
-			seq:      r.nextSeq(),
-		}
+		m := r.arena.get()
+		m.bindings[0] = c
+		m.visited = 1
+		m.score = contrib
+		m.maxFinal = contrib + e.sumMax
+		m.seq = r.nextSeq()
 		r.stats.serverOps.Add(1)
 		r.stats.matchesCreated.Add(1)
 		out = append(out, m)

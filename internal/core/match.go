@@ -25,6 +25,10 @@ type match struct {
 	score    float64
 	maxFinal float64
 	seq      int64
+	// home is the arena shard the match was carved from; release
+	// returns it there so Whirlpool-M goroutines recycle without
+	// funnelling through one freelist lock.
+	home int32
 }
 
 func (m *match) isVisited(id int) bool { return m.visited&(1<<uint(id)) != 0 }
@@ -39,19 +43,23 @@ func (m *match) rootOrd() int { return m.bindings[0].Ord }
 
 // extend clones m with query node id bound to n (nil = missing),
 // contributing c to the score. maxContrib is the server's precomputed
-// maximum contribution that the maxFinal bound releases.
+// maximum contribution that the maxFinal bound releases. The hot path
+// goes through extendInto with an arena-recycled target; this
+// allocating form remains for tests and one-off construction.
 func (m *match) extend(id int, n *xmltree.Node, c, maxContrib float64, seq int64) *match {
-	b := make([]*xmltree.Node, len(m.bindings))
-	copy(b, m.bindings)
-	b[id] = n
-	ext := &match{
-		bindings: b,
-		visited:  m.visited | 1<<uint(id),
-		missing:  m.missing,
-		score:    m.score + c,
-		maxFinal: m.maxFinal - maxContrib + c,
-		seq:      seq,
-	}
+	return m.extendInto(&match{bindings: make([]*xmltree.Node, len(m.bindings))}, id, n, c, maxContrib, seq)
+}
+
+// extendInto writes the extension of m into ext, whose bindings slice
+// must already have m's width (arena matches do), and returns ext.
+func (m *match) extendInto(ext *match, id int, n *xmltree.Node, c, maxContrib float64, seq int64) *match {
+	copy(ext.bindings, m.bindings)
+	ext.bindings[id] = n
+	ext.visited = m.visited | 1<<uint(id)
+	ext.missing = m.missing
+	ext.score = m.score + c
+	ext.maxFinal = m.maxFinal - maxContrib + c
+	ext.seq = seq
 	if n == nil {
 		ext.missing |= 1 << uint(id)
 	}

@@ -1,50 +1,92 @@
 package core
 
 import (
-	"container/heap"
 	"sync"
 )
 
 // prioritized pairs a match with its queue priority. Higher priority pops
 // first; ties pop in seq (creation) order, keeping single-threaded runs
-// deterministic.
+// deterministic. Queues are sanctioned match holders: a queued match is
+// owned by the queue until popped.
+// +whirllint:matchowner
 type prioritized struct {
 	m        *match
 	priority float64
 }
 
+// matchHeap is a binary max-heap of prioritized matches with the sift
+// operations written out directly rather than through container/heap:
+// the heap.Interface methods box every pushed and popped element into an
+// `any`, which costs one heap allocation per queue operation — the
+// dominant allocation site of the serving loop once matches themselves
+// are arena-recycled. The ordering (priority desc, then seq asc) is
+// total, so every correct heap pops the same sequence and determinism
+// does not depend on sift details.
 type matchHeap []prioritized
 
-func (h matchHeap) Len() int { return len(h) }
-func (h matchHeap) Less(i, j int) bool {
+func (h matchHeap) less(i, j int) bool {
 	if h[i].priority != h[j].priority {
 		return h[i].priority > h[j].priority
 	}
 	return h[i].m.seq < h[j].m.seq
 }
-func (h matchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *matchHeap) Push(x any)   { *h = append(*h, x.(prioritized)) }
-func (h *matchHeap) Pop() any {
+
+func (h *matchHeap) push(it prioritized) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+func (h *matchHeap) pop() prioritized {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = prioritized{}
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	it := old[n]
+	old[n] = prioritized{}
+	*h = old[:n]
+	if n > 0 {
+		old[:n].down(0)
+	}
 	return it
+}
+
+func (h matchHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h matchHeap) down(i int) {
+	n := len(h)
+	for l := 2*i + 1; l < n; l = 2*i + 1 {
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // pq is a plain (single-goroutine) priority queue.
 type pq struct{ h matchHeap }
 
 func (q *pq) push(m *match, priority float64) {
-	heap.Push(&q.h, prioritized{m: m, priority: priority})
+	q.h.push(prioritized{m: m, priority: priority})
 }
 
 func (q *pq) pop() (*match, bool) {
 	if len(q.h) == 0 {
 		return nil, false
 	}
-	it := heap.Pop(&q.h).(prioritized)
+	it := q.h.pop()
 	return it.m, true
 }
 
@@ -68,7 +110,7 @@ func newBlockingPQ() *blockingPQ {
 
 func (q *blockingPQ) push(m *match, priority float64) {
 	q.mu.Lock()
-	heap.Push(&q.h, prioritized{m: m, priority: priority})
+	q.h.push(prioritized{m: m, priority: priority})
 	q.mu.Unlock()
 	q.cond.Signal()
 }
@@ -84,7 +126,7 @@ func (q *blockingPQ) pop() (*match, bool) {
 	if len(q.h) == 0 {
 		return nil, false
 	}
-	it := heap.Pop(&q.h).(prioritized)
+	it := q.h.pop()
 	return it.m, true
 }
 
@@ -96,7 +138,7 @@ func (q *blockingPQ) tryPop() (*match, bool) {
 	if len(q.h) == 0 {
 		return nil, false
 	}
-	it := heap.Pop(&q.h).(prioritized)
+	it := q.h.pop()
 	return it.m, true
 }
 

@@ -13,10 +13,17 @@ import (
 type run struct {
 	*Engine
 	topk *topkSet
+	// arena recycles dead matches and their bindings for this run; see
+	// internal/core/arena.go for the ownership rules.
+	arena *matchArena
 	// shardID identifies this run within a sharded evaluation sharing
 	// topk with other engines (0 for a standalone run). Offers carry it
 	// so prunes caused by another shard's threshold can be counted.
 	shardID int32
+	// sharded is set when sibling shards share topk; standalone runs
+	// skip the threshold-source attribution (one atomic load per prune)
+	// it exists for.
+	sharded bool
 	stats   runStats
 	seq     atomic.Int64
 	ctx     context.Context
@@ -90,10 +97,14 @@ func (r *run) traceDepth(server, depth int) {
 // counters and the trace in step. A prune is "remote" when the current
 // threshold was produced by an entry offered from another shard — the
 // cross-shard pruning the sharded execution layer exists to create.
+// Standalone runs have no sibling shards, so they skip the
+// threshold-source load entirely (PrunedRemote is 0 by definition).
 func (r *run) prune() {
 	r.stats.pruned.Add(1)
-	if src := r.topk.thresholdSrc(); src >= 0 && src != r.shardID {
-		r.stats.prunedRemote.Add(1)
+	if r.sharded {
+		if src := r.topk.thresholdSrc(); src >= 0 && src != r.shardID {
+			r.stats.prunedRemote.Add(1)
+		}
 	}
 	r.traceMatch(obs.MatchesPruned, 1)
 }
@@ -183,12 +194,16 @@ func (r *run) nextServer(m *match) int {
 		}
 		return best
 	case RoutingMinAlive:
+		// One atomic threshold load per routing decision: currentTopK is
+		// memoized here instead of re-read inside estimateAliveAt for
+		// every candidate server.
+		t, ok := r.topk.threshold()
 		best, bestVal := -1, 0.0
 		for _, id := range r.order {
 			if m.isVisited(id) {
 				continue
 			}
-			v := r.estimateAlive(m, id)
+			v := r.estimateAliveAt(m, id, t, ok)
 			if best == -1 || v < bestVal {
 				best, bestVal = id, v
 			}
@@ -205,9 +220,15 @@ func (r *run) nextServer(m *match) int {
 // plus the survival of the null (leaf-deleted) extension when the server
 // is expected to find nothing.
 func (r *run) estimateAlive(m *match, id int) float64 {
+	t, ok := r.topk.threshold()
+	return r.estimateAliveAt(m, id, t, ok)
+}
+
+// estimateAliveAt is estimateAlive against a caller-supplied threshold
+// snapshot, so nextServer's candidate loop loads currentTopK once.
+func (r *run) estimateAliveAt(m *match, id int, t float64, ok bool) float64 {
 	maxC, minC := r.maxContrib[id], r.minContrib[id]
 	pSat, fan := r.satisfyProb[id], r.fanout[id]
-	t, ok := r.topk.threshold()
 	frac := 1.0
 	nullSurvives := 1.0
 	if ok {

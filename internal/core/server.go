@@ -4,7 +4,21 @@ import (
 	"repro/internal/obs"
 	"repro/internal/relax"
 	"repro/internal/score"
+	"repro/internal/xmltree"
 )
+
+// scratch is one worker's reusable buffers for process: the candidate
+// probe appends into cands, spawned extensions accumulate in exts. Both
+// retain their grown capacity across calls, so a worker's steady state
+// allocates nothing. The returned extension slice aliases sc.exts — the
+// caller must consume it before its next process call with the same
+// scratch (every algorithm does: extensions are checked and enqueued
+// immediately).
+// +whirllint:matchowner
+type scratch struct {
+	cands []*xmltree.Node
+	exts  []*match
+}
 
 // process runs one server operation (Section 5.2.1): the partial match m
 // arrives at server sid, the server probes the index for candidates
@@ -12,17 +26,18 @@ import (
 // validates each candidate through the conditional predicate sequence,
 // scores it, and spawns extended matches. When no candidate survives, the
 // outer-join spawns the null-extended match under leaf deletion;
-// otherwise the match dies.
-func (r *run) process(m *match, sid int) []*match {
+// otherwise the match dies. m stays owned by the caller: extensions copy
+// out of it, so the caller releases it after consuming the result.
+func (r *run) process(m *match, sid int, sc *scratch) []*match {
 	e := r.Engine
 	r.stats.serverOps.Add(1)
 	spin(e.cfg.OpCost)
 	plan := e.plans[sid]
 	root := m.bindings[0]
-	cands := e.ix.Candidates(root, plan.ProbeAxis(), plan.Tag, e.vts[sid])
+	sc.cands = e.ix.AppendCandidates(sc.cands[:0], root, plan.ProbeAxis(), plan.Tag, e.vts[sid])
 
-	var exts []*match
-	for _, c := range cands {
+	exts := sc.exts[:0]
+	for _, c := range sc.cands {
 		r.stats.joinComparisons.Add(1)
 		structExact := plan.RootPath.HoldsExact(root.ID, c.ID)
 		if e.cfg.Relax == relax.None && !structExact {
@@ -59,14 +74,16 @@ func (r *run) process(m *match, sid int) []*match {
 			variant = score.Exact
 		}
 		contrib := e.cfg.Scorer.Contribution(sid, variant, c)
-		exts = append(exts, m.extend(sid, c, contrib, e.maxContrib[sid], r.nextSeq()))
+		exts = append(exts, m.extendInto(r.arena.get(), sid, c, contrib, e.maxContrib[sid], r.nextSeq()))
 	}
 	if len(exts) == 0 {
 		if !e.cfg.Relax.Has(relax.LeafDeletion) || !r.nullAllowed(m, sid) {
+			sc.exts = exts
 			return nil // inner-join semantics: the match dies
 		}
-		exts = append(exts, m.extend(sid, nil, 0, e.maxContrib[sid], r.nextSeq()))
+		exts = append(exts, m.extendInto(r.arena.get(), sid, nil, 0, e.maxContrib[sid], r.nextSeq()))
 	}
+	sc.exts = exts
 	r.stats.matchesCreated.Add(int64(len(exts)))
 	r.traceMatch(obs.MatchesSpawned, len(exts))
 	return exts

@@ -40,14 +40,29 @@ type topkSet struct {
 	mu   sync.Mutex
 	best map[int]*topkEntry // root ordinal -> best known
 	top  []*topkEntry       // k best entries, sorted desc (score, then root asc)
+
+	// Entry slab: entries and their bindings copies are carved from
+	// chunked backing arrays (see newEntry). qn is the query's binding
+	// width, learned from the first offered match.
+	qn       int
+	freeEnts []topkEntry
+	freeBnd  []*xmltree.Node
 }
 
+// entryChunk is how many topkEntry records (and bindings copies) one
+// slab allocation covers.
+const entryChunk = 256
+
+// topkEntry is one root's best guaranteed answer. It owns its bindings
+// slice — offer copies the match's bindings out rather than aliasing
+// them, because offered matches are arena-owned (internal/core/arena.go)
+// and may be recycled the moment the offering algorithm releases them.
 type topkEntry struct {
-	rootOrd int
-	score   float64
-	m       *match
-	inTop   bool
-	pos     int // index in top while inTop
+	rootOrd  int
+	score    float64
+	bindings []*xmltree.Node // entry-owned copy, never aliases a match
+	inTop    bool
+	pos      int // index in top while inTop
 }
 
 func newTopkSet(k int, floor float64, hasFloor bool) *topkSet {
@@ -102,14 +117,14 @@ func (t *topkSet) offer(m *match, src int32) {
 	rootOrd := m.rootOrd()
 	e := t.best[rootOrd]
 	if e == nil {
-		e = &topkEntry{rootOrd: rootOrd, score: m.score, m: m}
+		e = t.newEntry(rootOrd, m)
 		t.best[rootOrd] = e
 	} else {
-		if m.score < e.score || (m.score == e.score && !bindingsLess(m.bindings, e.m.bindings)) {
+		if m.score < e.score || (m.score == e.score && !bindingsLess(m.bindings, e.bindings)) {
 			return
 		}
 		e.score = m.score
-		e.m = m
+		copy(e.bindings, m.bindings)
 	}
 	if e.inTop {
 		t.fixUp(e.pos)
@@ -133,6 +148,42 @@ func (t *topkSet) offer(m *match, src int32) {
 		t.fixUp(e.pos)
 		t.publish(src)
 	}
+}
+
+// newEntry carves a fresh entry — with its entry-owned bindings copy —
+// from the set's slab. Entries live as long as the set itself (the best
+// map keeps every root's record even after eviction from top), so this
+// is plain chunked allocation, not a freelist: two heap allocations per
+// entryChunk distinct roots instead of two per root. Every match
+// offered into one set binds the same query, so the binding width qn is
+// fixed after the first offer. Callers hold t.mu.
+// +whirllint:locked
+func (t *topkSet) newEntry(rootOrd int, m *match) *topkEntry {
+	if t.qn != len(m.bindings) {
+		if t.qn == 0 {
+			t.qn = len(m.bindings)
+		} else {
+			// Defensive: a foreign-width match would corrupt the slab
+			// carve; give it a private allocation instead.
+			return &topkEntry{
+				rootOrd:  rootOrd,
+				score:    m.score,
+				bindings: append([]*xmltree.Node(nil), m.bindings...),
+			}
+		}
+	}
+	if len(t.freeEnts) == 0 {
+		t.freeEnts = make([]topkEntry, entryChunk)
+		t.freeBnd = make([]*xmltree.Node, entryChunk*t.qn)
+	}
+	e := &t.freeEnts[0]
+	t.freeEnts = t.freeEnts[1:]
+	e.bindings = t.freeBnd[:t.qn:t.qn]
+	t.freeBnd = t.freeBnd[t.qn:]
+	e.rootOrd = rootOrd
+	e.score = m.score
+	copy(e.bindings, m.bindings)
+	return e
 }
 
 // fixUp restores the sort order after the entry at index i improved its
@@ -199,15 +250,18 @@ func (t *topkSet) threshold() (v float64, ok bool) {
 // threshold, or -1 while the floor (or nothing) governs.
 func (t *topkSet) thresholdSrc() int32 { return t.thrSrc.Load() }
 
-// answers returns the final top-k, best first.
+// answers returns the final top-k, best first. Bindings are copied out
+// of the entries: offer overwrites entry bindings in place when a root
+// improves, so a returned snapshot must not alias them.
 func (t *topkSet) answers() []Answer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]Answer, 0, len(t.top))
 	for _, e := range t.top {
+		b := append([]*xmltree.Node(nil), e.bindings...)
 		out = append(out, Answer{
-			Root:     e.m.bindings[0],
-			Bindings: e.m.bindings,
+			Root:     b[0],
+			Bindings: b,
 			Score:    e.score,
 		})
 	}

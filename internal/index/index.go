@@ -99,27 +99,32 @@ func (ix *Index) CountTag(tag string) int { return len(ix.byTag[tag]) }
 // Self, Child and Descendant — the axes structural probes use after
 // Algorithm 1's composition to the query root.
 func (ix *Index) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) []*xmltree.Node {
+	return ix.AppendCandidates(nil, anchor, axis, tag, vt)
+}
+
+// AppendCandidates implements index.Source's append-into-scratch probe:
+// Candidates' result is appended to dst and the extended slice returned.
+func (ix *Index) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) []*xmltree.Node {
 	switch axis {
 	case dewey.Self:
 		if anchor.Tag == tag && vt.Matches(anchor.Value) {
-			return []*xmltree.Node{anchor}
+			return append(dst, anchor)
 		}
-		return nil
+		return dst
 	case dewey.Child:
-		var out []*xmltree.Node
 		for _, c := range anchor.Children {
 			if c.Tag == tag && vt.Matches(c.Value) {
-				out = append(out, c)
+				dst = append(dst, c)
 			}
 		}
-		return out
+		return dst
 	case dewey.Descendant:
-		return ix.rangeScan(anchor, tag, vt)
+		return ix.rangeScan(dst, anchor, tag, vt)
 	default:
 		// FollowingSibling never survives composition to the root
 		// (dewey.Compose widens it); direct sibling checks happen in the
 		// conditional-predicate phase against bound nodes.
-		return nil
+		return dst
 	}
 }
 
@@ -145,18 +150,18 @@ func (ix *Index) HasCandidate(anchor *xmltree.Node, axis dewey.Axis, tag string,
 	}
 }
 
-// rangeScan collects the postings inside anchor's descendant Dewey range.
-func (ix *Index) rangeScan(anchor *xmltree.Node, tag string, vt ValueTest) []*xmltree.Node {
+// rangeScan appends the postings inside anchor's descendant Dewey range
+// to dst.
+func (ix *Index) rangeScan(dst []*xmltree.Node, anchor *xmltree.Node, tag string, vt ValueTest) []*xmltree.Node {
 	postings := ix.NodesMatching(tag, vt)
 	lo := firstAfter(postings, anchor.ID)
-	var out []*xmltree.Node
 	for i := lo; i < len(postings); i++ {
 		if !anchor.ID.IsAncestorOf(postings[i].ID) {
 			break
 		}
-		out = append(out, postings[i])
+		dst = append(dst, postings[i])
 	}
-	return out
+	return dst
 }
 
 // firstAfter returns the index of the first posting strictly after id in

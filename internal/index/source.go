@@ -21,6 +21,12 @@ type Source interface {
 	// Candidates returns the tag nodes satisfying vt on the given axis
 	// of anchor, in document order. Axes: Self, Child, Descendant.
 	Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) []*xmltree.Node
+	// AppendCandidates is Candidates in append form: the candidates are
+	// appended to dst (typically a reused scratch sliced to [:0]) and
+	// the extended slice returned, so hot probe loops allocate nothing
+	// in the steady state. Implementations must not retain dst, and the
+	// appended *xmltree.Node pointers remain valid after dst is reused.
+	AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) []*xmltree.Node
 	// Predicate computes database statistics for the component
 	// predicate relating rootTag nodes to (tag, vt) nodes via axis.
 	Predicate(rootTag string, axis dewey.Axis, tag string, vt ValueTest) PredicateStats

@@ -189,6 +189,7 @@ func (ix *Index) TopKTA(query string, k int) ([]Answer, Stats, error) {
 		lists[i] = ix.postings[w]
 	}
 	seen := make(map[int]float64)
+	var scoreBuf []float64 // reused across depths by the termination test
 	depth := 0
 	for {
 		progressed := false
@@ -226,7 +227,9 @@ func (ix *Index) TopKTA(query string, k int) ([]Answer, Stats, error) {
 			}
 			threshold += ix.idf[w] * float64(lists[i][d].TF)
 		}
-		if kthAtLeast(seen, k, threshold) {
+		var done bool
+		done, scoreBuf = kthAtLeast(seen, k, threshold, scoreBuf)
+		if done {
 			break
 		}
 		depth++
@@ -251,6 +254,7 @@ func (ix *Index) TopKNRA(query string, k int) ([]Answer, Stats) {
 	}
 	cands := make(map[int]*bounds)
 	lastTF := make([]float64, len(words)) // tf at current depth per list
+	var lowers []float64                  // reused across depths
 	depth := 0
 	for {
 		progressed := false
@@ -281,7 +285,7 @@ func (ix *Index) TopKNRA(query string, k int) ([]Answer, Stats) {
 		for i, w := range words {
 			unseenMax += ix.idf[w] * lastTF[i]
 		}
-		lowers := make([]float64, 0, len(cands))
+		lowers = lowers[:0]
 		for _, b := range cands {
 			lowers = append(lowers, b.lower)
 		}
@@ -363,16 +367,20 @@ func trim(answers []Answer, k int) []Answer {
 // scanning one depth past the true stopping point — or stop one early.
 const taEps = 1e-12
 
-func kthAtLeast(seen map[int]float64, k int, threshold float64) bool {
+// kthAtLeast reports whether the k-th best seen score reaches the
+// threshold. buf is a scratch slice reused across calls (TA invokes this
+// once per depth); the possibly-regrown buffer is returned for the next
+// call.
+func kthAtLeast(seen map[int]float64, k int, threshold float64, buf []float64) (bool, []float64) {
 	if len(seen) < k {
-		return false
+		return false, buf
 	}
-	scores := make([]float64, 0, len(seen))
+	buf = buf[:0]
 	for _, s := range seen {
-		scores = append(scores, s)
+		buf = append(buf, s)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
-	return scores[k-1] >= threshold-taEps
+	sort.Sort(sort.Reverse(sort.Float64Slice(buf)))
+	return buf[k-1] >= threshold-taEps, buf
 }
 
 func dedup(words []string) []string {

@@ -59,6 +59,11 @@ type evaluator struct {
 	scorer score.Scorer
 
 	rootPath []relax.PathPredicate // exact composition root -> node
+	// cands[id] is query node id's probe scratch, reused across roots.
+	// Safe despite the recursive enumeration: level id only reads its
+	// own buffer, and deeper levels use their own.
+	cands      [][]*xmltree.Node
+	assignment []*xmltree.Node // reused across roots
 }
 
 // sortAnswers orders answers best first. The score comparison is
@@ -80,6 +85,8 @@ func (ev *evaluator) prepare() {
 	for id := 1; id < n; id++ {
 		ev.rootPath[id] = relax.ComposePath(ev.q, 0, id)
 	}
+	ev.cands = make([][]*xmltree.Node, n)
+	ev.assignment = make([]*xmltree.Node, n)
 }
 
 // rootVariant classifies the root binding against the virtual document
@@ -99,7 +106,8 @@ func (ev *evaluator) rootVariant(root *xmltree.Node) (score.Variant, bool) {
 // nil) to the non-root query nodes and returns the best total score.
 func (ev *evaluator) bestTuple(root *xmltree.Node, base float64) (float64, bool) {
 	n := ev.q.Size()
-	assignment := make([]*xmltree.Node, n)
+	assignment := ev.assignment
+	clear(assignment)
 	assignment[0] = root
 	best, found := 0.0, false
 	var recurse func(id int, acc float64)
@@ -112,8 +120,9 @@ func (ev *evaluator) bestTuple(root *xmltree.Node, base float64) (float64, bool)
 		}
 		qn := ev.q.Nodes[id]
 		// Candidates: all descendants of the root binding with the right
-		// tag/value.
-		for _, c := range ev.ix.Candidates(root, dewey.Descendant, qn.Tag, index.Test(qn.ValueOp, qn.Value)) {
+		// tag/value, probed into the node's reused scratch.
+		ev.cands[id] = ev.ix.AppendCandidates(ev.cands[id][:0], root, dewey.Descendant, qn.Tag, index.Test(qn.ValueOp, qn.Value))
+		for _, c := range ev.cands[id] {
 			if !ev.validBinding(assignment, id, c) {
 				continue
 			}

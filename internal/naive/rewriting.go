@@ -52,6 +52,9 @@ func TopKByRewriting(ix index.Source, q *pattern.Query, r relax.Relaxation, s sc
 // the closure.
 func evalExact(ix index.Source, orig *pattern.Query, rq relax.RelaxedQuery, rootPath []relax.PathPredicate, s score.Scorer, yield func(*xmltree.Node, float64)) {
 	q := rq.Query
+	// Per-query-node probe scratch, reused across roots and recursion
+	// levels (level id only touches scratch[id]).
+	scratch := make([][]*xmltree.Node, q.Size())
 	for _, root := range ix.NodesMatching(q.Root().Tag, index.Test(q.Root().ValueOp, q.Root().Value)) {
 		// Root axis is exact for the relaxed query; score the variant
 		// against the original root axis.
@@ -77,23 +80,28 @@ func evalExact(ix index.Source, orig *pattern.Query, rq relax.RelaxedQuery, root
 			qn := q.Nodes[id]
 			vt := index.Test(qn.ValueOp, qn.Value)
 			parent := bindings[qn.Parent]
-			var cands []*xmltree.Node
+			cands := scratch[id][:0]
 			switch qn.Axis {
 			case dewey.Child:
-				cands = ix.Candidates(parent, dewey.Child, qn.Tag, vt)
+				cands = ix.AppendCandidates(cands, parent, dewey.Child, qn.Tag, vt)
 			case dewey.Descendant:
-				cands = ix.Candidates(parent, dewey.Descendant, qn.Tag, vt)
+				cands = ix.AppendCandidates(cands, parent, dewey.Descendant, qn.Tag, vt)
 			case dewey.FollowingSibling:
 				gp := parent.Parent
 				if gp == nil {
 					break
 				}
-				for _, c := range ix.Candidates(gp, dewey.Child, qn.Tag, vt) {
+				// Probe the parent's siblings, then filter in place.
+				cands = ix.AppendCandidates(cands, gp, dewey.Child, qn.Tag, vt)
+				keep := cands[:0]
+				for _, c := range cands {
 					if c.ID.IsFollowingSiblingOf(parent.ID) {
-						cands = append(cands, c)
+						keep = append(keep, c)
 					}
 				}
+				cands = keep
 			}
+			scratch[id] = cands
 			origID := rq.NodeMap[id]
 			for _, c := range cands {
 				variant := score.Relaxed

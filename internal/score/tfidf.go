@@ -203,9 +203,11 @@ func scanPredicate(ix index.Source, q *pattern.Query, id int) (exact, relaxed in
 	roots := ix.Nodes(rootTag)
 	exact.RootCount = len(roots)
 	relaxed.RootCount = len(roots)
+	var buf []*xmltree.Node // probe scratch reused across roots
 	for _, r := range roots {
 		tfExact, tfRelaxed := 0, 0
-		for _, c := range ix.Candidates(r, deweyDescendant, node.Tag, vt) {
+		buf = ix.AppendCandidates(buf[:0], r, deweyDescendant, node.Tag, vt)
+		for _, c := range buf {
 			tfRelaxed++
 			if pp.HoldsExact(r.ID, c.ID) {
 				tfExact++
@@ -268,6 +270,7 @@ func (s *TFIDF) IDF(nodeID int) (exact, relaxed float64) {
 // normalization as the scorer applies.
 func AnswerScore(ix index.Source, q *pattern.Query, s *TFIDF, n *xmltree.Node) float64 {
 	total := 0.0
+	var buf []*xmltree.Node // probe scratch reused across query nodes
 	for id := 0; id < q.Size(); id++ {
 		qn := q.Nodes[id]
 		var tf int
@@ -277,7 +280,8 @@ func AnswerScore(ix index.Source, q *pattern.Query, s *TFIDF, n *xmltree.Node) f
 			}
 		} else {
 			pp := relax.ComposePath(q, 0, id)
-			for _, c := range ix.Candidates(n, deweyDescendant, qn.Tag, index.Test(qn.ValueOp, qn.Value)) {
+			buf = ix.AppendCandidates(buf[:0], n, deweyDescendant, qn.Tag, index.Test(qn.ValueOp, qn.Value))
+			for _, c := range buf {
 				if pp.HoldsExact(n.ID, c.ID) {
 					tf++
 				}

@@ -139,9 +139,16 @@ func subtreeSizes(doc *xmltree.Document) []int {
 
 // cut grows the unit pool: starting from the forest roots, repeatedly
 // move the largest unit that has children to the spine and promote its
-// children to units, until the pool reaches splitFactor*p units (or no
-// unit can be cut). The iteration cap bounds pathological deep chains
-// where each cut nets zero or one new unit.
+// children to units. Cutting continues until the pool holds at least
+// splitFactor*p units AND no single unit exceeds a shard's fair share
+// (total/p nodes) — a pool that merely reaches the size target can
+// still hide one dominant subtree that forces the shard it lands on to
+// ~2-3x the mean load, which is exactly the 4-shard skew anomaly the
+// earlier size-only stop produced on XMark. The largest-unit pick
+// tie-breaks on the smaller preorder ordinal, so the cut sequence is a
+// pure function of the document and p, never of the pool's mutation
+// history. The iteration cap bounds pathological deep chains where each
+// cut nets zero or one new unit.
 func cut(doc *xmltree.Document, p int, sizes []int) (units, spine []*xmltree.Node) {
 	units = append(units, doc.Roots...)
 	target := splitFactor * p
@@ -149,18 +156,24 @@ func cut(doc *xmltree.Document, p int, sizes []int) (units, spine []*xmltree.Nod
 		// One shard: no parallelism to feed, keep the forest whole.
 		return units, nil
 	}
-	for iter := 0; len(units) < target && iter < 10*target; iter++ {
+	total := len(doc.Nodes)
+	for iter := 0; iter < 10*target; iter++ {
 		bi := -1
 		for i, u := range units {
 			if len(u.Children) == 0 {
 				continue
 			}
-			if bi == -1 || sizes[u.Ord] > sizes[units[bi].Ord] {
+			if bi == -1 ||
+				sizes[u.Ord] > sizes[units[bi].Ord] ||
+				(sizes[u.Ord] == sizes[units[bi].Ord] && u.Ord < units[bi].Ord) {
 				bi = i
 			}
 		}
 		if bi == -1 {
 			break // every unit is a leaf
+		}
+		if len(units) >= target && sizes[units[bi].Ord]*p <= total {
+			break // enough units, and none dominates a fair share
 		}
 		u := units[bi]
 		units = append(units[:bi], units[bi+1:]...)

@@ -115,6 +115,68 @@ func TestSplitPartitionInvariants(t *testing.T) {
 	}
 }
 
+// TestSplitBalance asserts the partition is actually balanced, not just
+// structurally valid: on an XMark document the node-count skew
+// (largest part over the mean) stays within 2.0 for every shard count
+// the pinned benchmark sweeps. This pins the fix for the 4-shard
+// anomaly where cut() stopped at the unit-count target while one
+// dominant subtree still exceeded a shard's fair share, forcing its
+// shard to ~2.6x the mean load.
+func TestSplitBalance(t *testing.T) {
+	doc := xmarkDoc(t, 200)
+	for _, p := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			c, err := shard.Split(doc, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total, max := 0, 0
+			for _, part := range c.Parts() {
+				total += part.NodeCount
+				if part.NodeCount > max {
+					max = part.NodeCount
+				}
+			}
+			mean := float64(total) / float64(p)
+			if mean == 0 {
+				t.Fatal("empty partition")
+			}
+			if skew := float64(max) / mean; skew > 2.0 {
+				layout, spine := c.Layout()
+				t.Fatalf("node-count skew %.2f > 2.0 (layout %+v, spine %d)", skew, layout, spine)
+			}
+		})
+	}
+}
+
+// TestSplitDeterministic asserts the layout is a pure function of the
+// document and p: the largest-unit cut order tie-breaks on preorder
+// ordinal, so repeated Splits must agree unit for unit.
+func TestSplitDeterministic(t *testing.T) {
+	doc := xmarkDoc(t, 120)
+	for _, p := range []int{2, 4, 8} {
+		a, err := shard.Split(doc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := shard.Split(doc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Parts() {
+			pa, pb := a.Parts()[i], b.Parts()[i]
+			if len(pa.Units) != len(pb.Units) {
+				t.Fatalf("p=%d part %d: %d vs %d units", p, i, len(pa.Units), len(pb.Units))
+			}
+			for j := range pa.Units {
+				if pa.Units[j].Ord != pb.Units[j].Ord {
+					t.Fatalf("p=%d part %d unit %d: ord %d vs %d", p, i, j, pa.Units[j].Ord, pb.Units[j].Ord)
+				}
+			}
+		}
+	}
+}
+
 // TestSplitSingleShardKeepsForestWhole ensures p=1 does not cut anything:
 // the single part's roots are the document roots.
 func TestSplitSingleShardKeepsForestWhole(t *testing.T) {

@@ -84,38 +84,44 @@ func (c *Corpus) home(n *xmltree.Node) int {
 // anchors (whose subtrees span parts) merge the spine with per-part
 // range scans under the dominated units.
 func (c *Corpus) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	return c.AppendCandidates(nil, anchor, axis, tag, vt)
+}
+
+// AppendCandidates implements index.Source's append-into-scratch probe
+// with the same delegation structure as Candidates.
+func (c *Corpus) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
 	switch axis {
 	case dewey.Self:
 		if anchor.Tag == tag && vt.Matches(anchor.Value) {
-			return []*xmltree.Node{anchor}
+			return append(dst, anchor)
 		}
-		return nil
+		return dst
 	case dewey.Child:
-		var out []*xmltree.Node
 		for _, ch := range anchor.Children {
 			if ch.Tag == tag && vt.Matches(ch.Value) {
-				out = append(out, ch)
+				dst = append(dst, ch)
 			}
 		}
-		return out
+		return dst
 	case dewey.Descendant:
 		if h := c.home(anchor); h >= 0 {
-			return c.parts[h].Ix.Candidates(anchor, axis, tag, vt)
+			return c.parts[h].Ix.AppendCandidates(dst, anchor, axis, tag, vt)
 		}
-		return c.spineDescendants(anchor, tag, vt)
+		return c.spineDescendants(dst, anchor, tag, vt)
 	default:
-		return nil
+		return dst
 	}
 }
 
-// spineDescendants collects the tag descendants of a spine anchor: the
-// matching spine nodes strictly below it, plus — for every unit the
+// spineDescendants appends the tag descendants of a spine anchor to dst:
+// the matching spine nodes strictly below it, plus — for every unit the
 // anchor dominates — the unit root and the unit's local descendant scan.
-func (c *Corpus) spineDescendants(anchor *xmltree.Node, tag string, vt index.ValueTest) []*xmltree.Node {
-	var out []*xmltree.Node
+// Only the appended tail is sorted, so dst's existing prefix is untouched.
+func (c *Corpus) spineDescendants(dst []*xmltree.Node, anchor *xmltree.Node, tag string, vt index.ValueTest) []*xmltree.Node {
+	start := len(dst)
 	for _, s := range c.spineByTag[tag] {
 		if s != anchor && anchor.ID.IsAncestorOf(s.ID) && vt.Matches(s.Value) {
-			out = append(out, s)
+			dst = append(dst, s)
 		}
 	}
 	for _, p := range c.parts {
@@ -124,22 +130,32 @@ func (c *Corpus) spineDescendants(anchor *xmltree.Node, tag string, vt index.Val
 				continue
 			}
 			if u.Tag == tag && vt.Matches(u.Value) {
-				out = append(out, u)
+				dst = append(dst, u)
 			}
-			out = append(out, p.Ix.Candidates(u, dewey.Descendant, tag, vt)...)
+			dst = p.Ix.AppendCandidates(dst, u, dewey.Descendant, tag, vt)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
-	return out
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Ord < tail[j].Ord })
+	return dst
 }
 
 // Predicate computes whole-corpus statistics for the component predicate
-// relating rootTag nodes to (tag, vt) nodes via axis.
+// relating rootTag nodes to (tag, vt) nodes via axis. Probes append into
+// one scratch buffer reused across roots; descendant probes of part
+// anchors count via the part's TF without materializing.
 func (c *Corpus) Predicate(rootTag string, axis dewey.Axis, tag string, vt index.ValueTest) index.PredicateStats {
 	roots := c.Nodes(rootTag)
 	st := index.PredicateStats{RootCount: len(roots)}
+	var buf []*xmltree.Node
 	for _, r := range roots {
-		tf := c.TF(r, axis, tag, vt)
+		var tf int
+		if h := c.home(r); axis == dewey.Descendant && h >= 0 {
+			tf = c.parts[h].Ix.TF(r, axis, tag, vt)
+		} else {
+			buf = c.AppendCandidates(buf[:0], r, axis, tag, vt)
+			tf = len(buf)
+		}
 		if tf > 0 {
 			st.Satisfying++
 			st.TotalPairs += tf
@@ -209,11 +225,17 @@ func (v *spineView) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string
 	return v.c.Candidates(anchor, axis, tag, vt)
 }
 
+func (v *spineView) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	return v.c.AppendCandidates(dst, anchor, axis, tag, vt)
+}
+
 func (v *spineView) Predicate(rootTag string, axis dewey.Axis, tag string, vt index.ValueTest) index.PredicateStats {
 	roots := v.Nodes(rootTag)
 	st := index.PredicateStats{RootCount: len(roots)}
+	var buf []*xmltree.Node
 	for _, r := range roots {
-		tf := v.TF(r, axis, tag, vt)
+		buf = v.AppendCandidates(buf[:0], r, axis, tag, vt)
+		tf := len(buf)
 		if tf > 0 {
 			st.Satisfying++
 			st.TotalPairs += tf

@@ -297,35 +297,38 @@ func (r *Reader) CountTag(tag string) int {
 // Candidates implements index.Source with the same semantics as the
 // in-memory index.
 func (r *Reader) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	return r.AppendCandidates(nil, anchor, axis, tag, vt)
+}
+
+// AppendCandidates implements index.Source's append-into-scratch probe.
+func (r *Reader) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
 	switch axis {
 	case dewey.Self:
 		if anchor.Tag == tag && vt.Matches(anchor.Value) {
-			return []*xmltree.Node{anchor}
+			return append(dst, anchor)
 		}
-		return nil
+		return dst
 	case dewey.Child:
-		var out []*xmltree.Node
 		for _, c := range anchor.Children {
 			if c.Tag == tag && vt.Matches(c.Value) {
-				out = append(out, c)
+				dst = append(dst, c)
 			}
 		}
-		return out
+		return dst
 	case dewey.Descendant:
 		postings := r.NodesMatching(tag, vt)
 		lo := sort.Search(len(postings), func(i int) bool {
 			return postings[i].ID.Compare(anchor.ID) > 0
 		})
-		var out []*xmltree.Node
 		for i := lo; i < len(postings); i++ {
 			if !anchor.ID.IsAncestorOf(postings[i].ID) {
 				break
 			}
-			out = append(out, postings[i])
+			dst = append(dst, postings[i])
 		}
-		return out
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }
 
@@ -334,12 +337,15 @@ func (r *Reader) TF(n *xmltree.Node, axis dewey.Axis, tag string, vt index.Value
 	return len(r.Candidates(n, axis, tag, vt))
 }
 
-// Predicate implements index.Source.
+// Predicate implements index.Source. The per-root probe appends into one
+// scratch buffer reused across the whole scan.
 func (r *Reader) Predicate(rootTag string, axis dewey.Axis, tag string, vt index.ValueTest) index.PredicateStats {
 	roots := r.Nodes(rootTag)
 	st := index.PredicateStats{RootCount: len(roots)}
+	var buf []*xmltree.Node
 	for _, root := range roots {
-		tf := len(r.Candidates(root, axis, tag, vt))
+		buf = r.AppendCandidates(buf[:0], root, axis, tag, vt)
+		tf := len(buf)
 		if tf > 0 {
 			st.Satisfying++
 			st.TotalPairs += tf
