@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-check bench-micro profile experiments experiments-full fuzz clean
+.PHONY: all build vet lint lint-baseline test race bench bench-check bench-micro profile experiments experiments-full fuzz clean
 
 all: build vet lint test race
 
@@ -12,12 +12,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Whirlpool-specific analyzers (arenaescape, ctxpoll, floatscore,
-# goroutineleak, lockguard); `go run ./cmd/whirlpool-lint -list`
-# describes each. Also
+# Whirlpool-specific analyzers (arenaescape, atomicfield, ctxpoll,
+# floatscore, goroutineleak, hotalloc, lockguard); `go run
+# ./cmd/whirlpool-lint -list` describes each. Test files are linted
+# too; findings in lint.baseline.json are suppressed, anything fresh
+# fails. SARIF lands in lint.sarif for code-scanning upload. Also
 # usable as `go vet -vettool=$(shell which whirlpool-lint) ./...`.
 lint:
-	$(GO) run ./cmd/whirlpool-lint ./...
+	$(GO) run ./cmd/whirlpool-lint -tests -sarif lint.sarif ./...
+
+# Re-bless current findings: rewrites lint.baseline.json. Review the
+# diff — every entry is a known, tolerated finding.
+lint-baseline:
+	$(GO) run ./cmd/whirlpool-lint -tests -update-baseline ./...
 
 test:
 	$(GO) test ./...

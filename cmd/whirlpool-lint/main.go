@@ -1,20 +1,25 @@
 // Command whirlpool-lint runs the Whirlpool analyzer suite
-// (internal/analysis): arenaescape, ctxpoll, floatscore, goroutineleak,
-// lockguard.
+// (internal/analysis): arenaescape, atomicfield, ctxpoll, floatscore,
+// goroutineleak, hotalloc, lockguard.
 //
-// Standalone, over package patterns (exit 1 on findings):
+// Standalone, over package patterns (exit 1 on non-baselined findings):
 //
 //	go run ./cmd/whirlpool-lint ./...
-//	whirlpool-lint ./internal/core/ ./cmd/whirlpoold/
+//	whirlpool-lint -tests -sarif lint.sarif ./...
+//
+// Findings that are deliberate debt live in a committed baseline file
+// (lint.baseline.json by default): baselined findings are reported in
+// SARIF with baselineState "unchanged" but do not fail the run, and
+// -update-baseline rewrites the file to the current findings.
 //
 // Or as a vet tool, one package per invocation driven by the go
-// command:
+// command (facts flow between units through .vetx files):
 //
 //	go vet -vettool=$(which whirlpool-lint) ./...
 //
 // Deliberate exceptions are annotated in source; see each analyzer's
-// doc (whirlpool-lint -list) and the Static analysis section of the
-// README.
+// doc (whirlpool-lint -list) and the Static analysis section of
+// DESIGN.md.
 package main
 
 import (
@@ -28,20 +33,20 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+func run(args []string, stdout *os.File) int {
 	// The go command identifies a vet tool by running it with -V=full
 	// before handing it package config files.
 	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
-		printVersion()
+		printVersion(stdout)
 		return 0
 	}
 	// The second handshake: the go command asks which flags the tool
 	// accepts (JSON list). This suite has no per-analyzer flags.
 	if len(args) == 1 && args[0] == "-flags" {
-		fmt.Println("[]")
+		fmt.Fprintln(stdout, "[]")
 		return 0
 	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
@@ -50,8 +55,12 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("whirlpool-lint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	tests := fs.Bool("tests", false, "analyze _test.go files too (test variants of each package)")
+	sarifPath := fs.String("sarif", "", "write a SARIF 2.1.0 report to this file (\"-\" for stdout)")
+	baselinePath := fs.String("baseline", "lint.baseline.json", "suppression file; findings recorded there do not fail the run (\"\" disables)")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the baseline file to the current findings and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: whirlpool-lint [-list] [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: whirlpool-lint [-list] [-tests] [-sarif file] [-baseline file] [-update-baseline] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -59,7 +68,7 @@ func run(args []string) int {
 	}
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -68,15 +77,26 @@ func run(args []string) int {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := analysis.Load(patterns...)
+	load := analysis.Load
+	if *tests {
+		load = analysis.LoadTests
+	}
+	pkgs, err := load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	// Degenerate inputs — syntax errors, packages with no Go files,
+	// unresolvable imports — are reported per package, not fatal to the
+	// whole run; any of them still fails the invocation.
 	broken := false
 	for _, pkg := range pkgs {
+		for _, lerr := range pkg.LoadErrors {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.PkgPath(), lerr)
+			broken = true
+		}
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.Path, terr)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.PkgPath(), terr)
 			broken = true
 		}
 	}
@@ -88,10 +108,60 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
-	if len(diags) > 0 {
+
+	if *updateBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "whirlpool-lint: -update-baseline needs a -baseline path")
+			return 1
+		}
+		b := analysis.NewBaseline(diags, root)
+		if err := b.Save(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "whirlpool-lint: baseline %s updated with %d finding(s)\n", *baselinePath, b.Len())
+		return 0
+	}
+
+	baselined := func(analysis.Diagnostic) bool { return false }
+	fresh := diags
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		var old []analysis.Diagnostic
+		fresh, old, baselined = b.Filter(diags, root)
+		if len(old) > 0 {
+			fmt.Fprintf(stdout, "whirlpool-lint: %d baselined finding(s) suppressed (see %s)\n", len(old), *baselinePath)
+		}
+	}
+
+	if *sarifPath != "" {
+		report, err := analysis.SARIF(analysis.All(), diags, root, baselined)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if *sarifPath == "-" {
+			fmt.Fprintf(stdout, "%s\n", report)
+		} else if err := os.WriteFile(*sarifPath, append(report, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	for _, d := range fresh {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(fresh) > 0 {
 		return 1
 	}
 	return 0
@@ -100,7 +170,7 @@ func run(args []string) int {
 // printVersion implements the -V=full handshake: the go command folds
 // the line into its build cache key, so it must change when the tool
 // does — hash the executable.
-func printVersion() {
+func printVersion(stdout *os.File) {
 	name := "whirlpool-lint"
 	id := "unknown"
 	if exe, err := os.Executable(); err == nil {
@@ -109,5 +179,5 @@ func printVersion() {
 			id = fmt.Sprintf("%x", sum[:8])
 		}
 	}
-	fmt.Printf("%s version devel buildID=%s\n", name, id)
+	fmt.Fprintf(stdout, "%s version devel buildID=%s\n", name, id)
 }

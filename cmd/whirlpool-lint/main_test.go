@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -37,30 +38,122 @@ func TestRunCleanOnRepo(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer os.Chdir(wd)
-	if code := run([]string{"./..."}); code != 0 {
+	if code := run([]string{"./..."}, os.Stdout); code != 0 {
 		t.Fatalf("whirlpool-lint ./... exited %d on the repo, want 0", code)
+	}
+}
+
+// TestRunCleanOnRepoWithTests is the satellite acceptance gate: the
+// suite must also pass over the module's _test.go files.
+func TestRunCleanOnRepoWithTests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module including tests")
+	}
+	root := repoRoot(t)
+	wd, _ := os.Getwd()
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	if code := run([]string{"-tests", "./..."}, os.Stdout); code != 0 {
+		t.Fatalf("whirlpool-lint -tests ./... exited %d on the repo, want 0", code)
 	}
 }
 
 func TestRunFindsSeededViolations(t *testing.T) {
 	root := repoRoot(t)
 	testdata := filepath.Join(root, "internal", "analysis", "testdata", "src", "goroutineleak")
-	if code := run([]string{testdata}); code != 1 {
+	if code := run([]string{"-baseline", "", testdata}, os.Stdout); code != 1 {
 		t.Fatalf("whirlpool-lint on seeded testdata exited %d, want 1", code)
 	}
 }
 
+// TestBaselineWorkflow exercises the suppression loop: record current
+// findings with -update-baseline, then a re-run with that baseline is
+// clean, and the committed file format is stable JSON.
+func TestBaselineWorkflow(t *testing.T) {
+	root := repoRoot(t)
+	testdata := filepath.Join(root, "internal", "analysis", "testdata", "src", "lockguard")
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+
+	if code := run([]string{"-baseline", baseline, "-update-baseline", testdata}, os.Stdout); code != 0 {
+		t.Fatalf("-update-baseline exited %d, want 0", code)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var file struct {
+		Version int `json:"version"`
+		Entries []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Message  string `json:"message"`
+			Count    int    `json:"count"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if file.Version != 1 || len(file.Entries) == 0 {
+		t.Fatalf("baseline version=%d entries=%d, want version 1 and seeded entries", file.Version, len(file.Entries))
+	}
+
+	if code := run([]string{"-baseline", baseline, testdata}, os.Stdout); code != 0 {
+		t.Fatalf("run with full baseline exited %d, want 0 (all findings suppressed)", code)
+	}
+}
+
+// TestSARIFOutput checks the report file is valid SARIF 2.1.0 with the
+// seeded findings as results.
+func TestSARIFOutput(t *testing.T) {
+	root := repoRoot(t)
+	testdata := filepath.Join(root, "internal", "analysis", "testdata", "src", "floatscore")
+	sarif := filepath.Join(t.TempDir(), "lint.sarif")
+
+	if code := run([]string{"-baseline", "", "-sarif", sarif, testdata}, os.Stdout); code != 1 {
+		t.Fatalf("seeded run exited %d, want 1", code)
+	}
+	data, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatalf("SARIF not written: %v", err)
+	}
+	var report struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID        string `json:"ruleId"`
+				BaselineState string `json:"baselineState"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if report.Version != "2.1.0" || len(report.Runs) != 1 {
+		t.Fatalf("SARIF version=%q runs=%d, want 2.1.0 with one run", report.Version, len(report.Runs))
+	}
+	if len(report.Runs[0].Results) == 0 {
+		t.Fatal("SARIF has no results for seeded testdata")
+	}
+	for _, r := range report.Runs[0].Results {
+		if r.BaselineState != "new" {
+			t.Fatalf("result baselineState=%q with no baseline, want new", r.BaselineState)
+		}
+	}
+}
+
 func TestListFlag(t *testing.T) {
-	if code := run([]string{"-list"}); code != 0 {
+	if code := run([]string{"-list"}, os.Stdout); code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
 }
 
 func TestVersionHandshake(t *testing.T) {
-	if code := run([]string{"-V=full"}); code != 0 {
+	if code := run([]string{"-V=full"}, os.Stdout); code != 0 {
 		t.Fatalf("-V=full exited %d", code)
 	}
-	if code := run([]string{"-flags"}); code != 0 {
+	if code := run([]string{"-flags"}, os.Stdout); code != 0 {
 		t.Fatalf("-flags exited %d", code)
 	}
 }

@@ -89,6 +89,7 @@ func TestHealthAndStats(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore served scores must match the engine's exactly
 func TestQueryEndpoint(t *testing.T) {
 	s := testServer(t)
 	w := post(t, s, "/query", queryRequest{Query: "//item[./description/parlist]", K: 5})
@@ -253,6 +254,7 @@ func TestEngineCacheLRUBound(t *testing.T) {
 // until the build finished — even requests whose engine was already
 // cached. Now construction happens outside the cache lock, so a parked
 // build must not delay cached requests for other keys.
+// +whirllint:managed request goroutines signal completion on their reply channels
 func TestBuildDoesNotBlockServingPath(t *testing.T) {
 	s := testServer(t)
 	warmQuery := queryRequest{Query: "//item[./description/parlist]", K: 3}
@@ -542,6 +544,7 @@ func TestQueryTimeout(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore sharded and unsharded serving must agree exactly
 func TestShardedServing(t *testing.T) {
 	s := testServerOpts(t, serverOptions{Shards: 4})
 	base := testServer(t)

@@ -44,6 +44,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	facts *FactStore
 }
 
 // A Diagnostic is one reported finding.
@@ -68,7 +69,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Run applies every analyzer to every package and returns the combined
 // findings sorted by position. Analyzer errors (not findings) abort.
+// Packages are visited in the order given; Load returns them in
+// dependency order, so facts exported while analyzing a package are
+// visible to the passes over its importers.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	return RunWithFacts(analyzers, pkgs, NewFactStore())
+}
+
+// RunWithFacts is Run against a caller-supplied fact store, which may
+// be pre-seeded with facts imported from earlier runs (the vet-tool
+// protocol seeds it from dependency .vetx files) and afterwards holds
+// every fact the analyzers exported.
+func RunWithFacts(analyzers []*Analyzer, pkgs []*Package, facts *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -79,6 +91,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				diags:     &diags,
+				facts:     facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -108,17 +121,50 @@ const annotationPrefix = "+whirllint:"
 // hasAnnotation reports whether the function declaration carries the
 // given whirllint annotation (e.g. tag "locked") in its doc comment.
 func hasAnnotation(fn *ast.FuncDecl, tag string) bool {
-	if fn == nil || fn.Doc == nil {
+	if fn == nil {
 		return false
 	}
+	ok, _ := commentAnnotation(fn.Doc, tag)
+	return ok
+}
+
+// commentAnnotation scans a comment group for `+whirllint:<tag>` and
+// returns whether it was found plus any trailing justification text on
+// the same line (`// +whirllint:seqlocked readers use atomic loads`).
+func commentAnnotation(doc *ast.CommentGroup, tag string) (found bool, justification string) {
+	if doc == nil {
+		return false, ""
+	}
 	want := annotationPrefix + tag
-	for _, c := range fn.Doc.List {
+	for _, c := range doc.List {
 		line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 		if line == want {
-			return true
+			return true, ""
+		}
+		if rest, ok := strings.CutPrefix(line, want+" "); ok {
+			return true, strings.TrimSpace(rest)
 		}
 	}
-	return false
+	return false, ""
+}
+
+// fieldAnnotation scans a struct field's doc comment and trailing
+// same-line comment for the given annotation.
+func fieldAnnotation(field *ast.Field, tag string) (found bool, justification string) {
+	for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if ok, j := commentAnnotation(doc, tag); ok {
+			return ok, j
+		}
+	}
+	return false, ""
+}
+
+// funcAnnotation is commentAnnotation on a function's doc comment.
+func funcAnnotation(fn *ast.FuncDecl, tag string) (found bool, justification string) {
+	if fn == nil {
+		return false, ""
+	}
+	return commentAnnotation(fn.Doc, tag)
 }
 
 // hasTypeAnnotation reports whether the type declaration carries the

@@ -20,7 +20,13 @@ import (
 	"repro/internal/analysis"
 )
 
-var wantRE = regexp.MustCompile("// want `([^`]*)`")
+// wantRE matches the whole want clause; backtickRE then extracts each
+// expectation, so one line can expect several diagnostics:
+// `// want `first` `second“.
+var (
+	wantRE     = regexp.MustCompile("// want ((?:`[^`]*`[ \t]*)+)")
+	backtickRE = regexp.MustCompile("`([^`]*)`")
+)
 
 // Run loads the package rooted at dir (a testdata directory), applies
 // the analyzer, and reports mismatches between diagnostics and want
@@ -39,6 +45,9 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
 	}
 	pkg := pkgs[0]
+	for _, err := range pkg.LoadErrors {
+		t.Errorf("testdata does not load: %v", err)
+	}
 	for _, err := range pkg.TypeErrors {
 		t.Errorf("testdata does not type-check: %v", err)
 	}
@@ -64,13 +73,15 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 					}
 					continue
 				}
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Errorf("%s: bad want regexp: %v", pkg.Fset.Position(c.Pos()), err)
-					continue
-				}
 				pos := pkg.Fset.Position(c.Pos())
-				wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], re)
+				for _, g := range backtickRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(g[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp: %v", pos, err)
+						continue
+					}
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], re)
+				}
 			}
 		}
 	}

@@ -18,6 +18,8 @@ func TestAnalyzers(t *testing.T) {
 		analyzer *analysis.Analyzer
 	}{
 		{"arenaescape", analysis.ArenaEscape},
+		{"atomicfield", analysis.AtomicField},
+		{"hotalloc", analysis.HotAlloc},
 		{"lockguard", analysis.LockGuard},
 		{"floatscore", analysis.FloatScore},
 		{"goroutineleak", analysis.GoroutineLeak},
@@ -44,7 +46,7 @@ func TestRegistry(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, ",")
-	want := "arenaescape,ctxpoll,floatscore,goroutineleak,lockguard"
+	want := "arenaescape,atomicfield,ctxpoll,floatscore,goroutineleak,hotalloc,lockguard"
 	if got != want {
 		t.Fatalf("All() = %s, want %s", got, want)
 	}

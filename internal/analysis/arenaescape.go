@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -10,25 +11,44 @@ import (
 // ArenaEscape enforces the match arena's ownership rule (see
 // internal/core/arena.go): a `*match` obtained from the arena has
 // exactly one holder and may be recycled — its fields scrambled, its
-// bindings handed to another match — the moment it is released. A
-// struct field holding a `*match` (directly, or through a slice, array,
-// map, or channel) is therefore a standing escape hazard: the struct
-// can outlive the match's release and read recycled state. Anything
-// that outlives a match must copy out of it, the way topkSet.offer
-// copies bindings into entry-owned storage.
+// bindings handed to another match — the moment it is released.
+// Anything that outlives a match must copy out of it, the way
+// topkSet.offer copies bindings into entry-owned storage.
 //
-// The sanctioned holders — the arena's own freelist, the priority-queue
-// element, a worker's scratch buffers — declare themselves with the
-// annotation on the type's doc comment:
+// The check has two layers.
+//
+// Layer 1 (declarations): a struct field holding a `*match` (directly,
+// or through a slice, array, map, or channel) is a standing escape
+// hazard — the struct can outlive the match's release and read recycled
+// state. The sanctioned holders — the arena's own freelist, the
+// priority-queue element, a worker's scratch buffers — declare
+// themselves with the annotation on the type's doc comment:
 //
 //	// +whirllint:matchowner
 //
-// Only the type's direct fields are examined; a field of another named
-// type is that type's own responsibility, so each holder is reported
-// (or annotated) exactly once, at its declaration.
+// Layer 2 (dataflow): an expression carrying an arena-owned match must
+// not flow into storage whose lifetime the run cannot see, wherever
+// that flow happens:
+//
+//   - assignment into a package-level variable (or an element of one);
+//   - a map store or channel send, unless the map or channel is a field
+//     of an annotated owner type;
+//   - capture by (or argument to) a goroutine — the goroutine can
+//     outlive the match's release;
+//   - boxing into an interface value, which can be stored anywhere;
+//   - a call passing the match to a same-package function whose
+//     parameter (transitively) does one of the above — the escape is
+//     reported both at the sink inside the callee and at the call site
+//     that feeds it, so the interprocedural path is visible end to end.
+//
+// A function that is itself a sanctioned transfer point (the arena's
+// release, a queue's push) carries the same annotation on its doc
+// comment, which exempts its body and its parameters:
+//
+//	// +whirllint:matchowner
 var ArenaEscape = &Analyzer{
 	Name: "arenaescape",
-	Doc:  "report struct fields that retain arena-owned *match values past release",
+	Doc:  "report arena-owned *match values escaping their single holder (fields, globals, maps, channels, goroutines, interfaces)",
 	Run:  runArenaEscape,
 }
 
@@ -40,7 +60,7 @@ var ArenaEscapeScope = []string{"internal/core", "testdata/src/arenaescape"}
 func runArenaEscape(pass *Pass) error {
 	inScope := false
 	for _, s := range ArenaEscapeScope {
-		if strings.Contains(pass.Pkg.Path(), s) {
+		if strings.Contains(strippedPath(pass.Pkg.Path()), s) {
 			inScope = true
 			break
 		}
@@ -48,6 +68,38 @@ func runArenaEscape(pass *Pass) error {
 	if !inScope {
 		return nil
 	}
+	owners := collectOwnerTypes(pass)
+	runFieldLayer(pass, owners)
+	runFlowLayer(pass, owners)
+	return nil
+}
+
+// collectOwnerTypes gathers the named types annotated matchowner.
+func collectOwnerTypes(pass *Pass) map[*types.TypeName]bool {
+	owners := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !hasTypeAnnotation(gd, ts, "matchowner") {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					owners[tn] = true
+				}
+			}
+		}
+	}
+	return owners
+}
+
+// runFieldLayer is layer 1: unannotated struct fields that retain
+// matches.
+func runFieldLayer(pass *Pass, owners map[*types.TypeName]bool) {
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			gd, ok := d.(*ast.GenDecl)
@@ -77,7 +129,430 @@ func runArenaEscape(pass *Pass) error {
 			}
 		}
 	}
-	return nil
+}
+
+// escapeInfo is a per-function dataflow summary: which parameters
+// (receiver included, index 0) flow into an escape sink, with the sink
+// description for the call-site report.
+type escapeInfo struct {
+	fn      *ast.FuncDecl
+	obj     *types.Func
+	exempt  bool // +whirllint:matchowner on the function
+	params  []*types.Var
+	escapes map[*types.Var]string // param -> sink description
+}
+
+// runFlowLayer is layer 2: match values flowing into globals, maps,
+// channels, goroutines and interfaces, propagated across function
+// boundaries within the package.
+func runFlowLayer(pass *Pass, owners map[*types.TypeName]bool) {
+	infos := make(map[*types.Func]*escapeInfo)
+	var order []*escapeInfo
+	for _, fn := range funcDecls(pass) {
+		if fn.Body == nil {
+			continue
+		}
+		obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		exempt, _ := funcAnnotation(fn, "matchowner")
+		info := &escapeInfo{
+			fn:      fn,
+			obj:     obj,
+			exempt:  exempt,
+			escapes: make(map[*types.Var]string),
+		}
+		sig := obj.Type().(*types.Signature)
+		if r := sig.Recv(); r != nil {
+			info.params = append(info.params, r)
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			info.params = append(info.params, sig.Params().At(i))
+		}
+		infos[obj] = info
+		order = append(order, info)
+	}
+
+	// Local sink pass: report in-body sinks and seed parameter escape
+	// summaries; then propagate through calls to a fixed point; then
+	// report call sites that feed escaping parameters.
+	for _, info := range order {
+		if info.exempt {
+			continue
+		}
+		findSinks(pass, owners, info, true)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range order {
+			if info.exempt {
+				continue
+			}
+			if propagateCalls(pass, infos, info) {
+				changed = true
+			}
+		}
+	}
+	for _, info := range order {
+		if info.exempt {
+			continue
+		}
+		reportEscapingCalls(pass, infos, info)
+	}
+}
+
+// exprHoldsMatch reports whether the expression's static type carries
+// this package's match type.
+func exprHoldsMatch(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && holdsMatch(t, pass.Pkg)
+}
+
+// rootVar resolves the base object of an expression path (x, x.f,
+// x[i], *x, x[i:j]).
+func rootVar(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgLevel reports whether the object is a package-level variable.
+func isPkgLevel(pass *Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	scope := pass.Pkg.Scope()
+	return scope != nil && scope.Lookup(v.Name()) == v
+}
+
+// ownerSanctioned reports whether the storage expression is a field
+// path through an annotated owner type (sc.exts, s.free, q.h...).
+func ownerSanctioned(pass *Pass, owners map[*types.TypeName]bool, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				t := sel.Recv()
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && owners[named.Obj()] {
+					return true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// markParam records that a value expression rooted at one of the
+// function's parameters reaches a sink.
+func markParam(pass *Pass, info *escapeInfo, value ast.Expr, sink string) {
+	obj := rootVar(pass, value)
+	if obj == nil {
+		return
+	}
+	for _, p := range info.params {
+		if obj == p {
+			if _, ok := info.escapes[p]; !ok {
+				info.escapes[p] = sink
+			}
+			return
+		}
+	}
+}
+
+// findSinks walks one function body, reporting local escape sinks (when
+// report is set) and seeding the parameter summary.
+func findSinks(pass *Pass, owners map[*types.TypeName]bool, info *escapeInfo, report bool) {
+	sink := func(pos token.Pos, value ast.Expr, desc string) {
+		if report {
+			pass.Reportf(pos,
+				"arena-owned *match %s, outliving its single holder; copy what you need out of the match, or annotate the enclosing function %smatchowner if it is a sanctioned transfer point",
+				desc, annotationPrefix)
+		}
+		markParam(pass, info, value, desc)
+	}
+	ast.Inspect(info.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+				if !exprHoldsMatch(pass, rhs) {
+					continue
+				}
+				// Storage class of the destination.
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					bt := pass.TypesInfo.TypeOf(l.X)
+					if bt == nil {
+						continue
+					}
+					if _, isMap := bt.Underlying().(*types.Map); isMap {
+						if !ownerSanctioned(pass, owners, l.X) {
+							sink(n.Pos(), rhs, "is stored in a map")
+						}
+						continue
+					}
+				}
+				if base := rootVar(pass, lhs); base != nil && isPkgLevel(pass, base) {
+					sink(n.Pos(), rhs, fmt.Sprintf("is stored in package-level variable %s", base.Name()))
+				}
+			}
+		case *ast.SendStmt:
+			if exprHoldsMatch(pass, n.Value) && !ownerSanctioned(pass, owners, n.Chan) {
+				sink(n.Pos(), n.Value, "is sent on a channel")
+			}
+		case *ast.GoStmt:
+			// Arguments evaluated into the goroutine.
+			for _, arg := range n.Call.Args {
+				if exprHoldsMatch(pass, arg) {
+					sink(n.Pos(), arg, "is handed to a goroutine, which can outlive the match's release")
+				}
+			}
+			// Captures by the launched literal.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				for _, obj := range capturedVars(pass, lit) {
+					if holdsMatch(obj.Type(), pass.Pkg) {
+						if report {
+							pass.Reportf(n.Pos(),
+								"arena-owned *match %q is captured by a goroutine closure, which can outlive the match's release; pass a copy of what it needs, or annotate the enclosing function %smatchowner",
+								obj.Name(), annotationPrefix)
+						}
+						for _, p := range info.params {
+							if obj == p {
+								info.escapes[p] = "is captured by a goroutine closure"
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Interface boxing of a match-carrying argument.
+			if nonRetainingCall(pass, n) {
+				return true
+			}
+			sigT := pass.TypesInfo.TypeOf(n.Fun)
+			if sigT == nil {
+				return true
+			}
+			sig, ok := sigT.Underlying().(*types.Signature)
+			if !ok {
+				return true
+			}
+			params := sig.Params()
+			for i, arg := range n.Args {
+				if !exprHoldsMatch(pass, arg) {
+					continue
+				}
+				var pt types.Type
+				switch {
+				case sig.Variadic() && i >= params.Len()-1:
+					if n.Ellipsis.IsValid() {
+						continue
+					}
+					if slice, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+						pt = slice.Elem()
+					}
+				case i < params.Len():
+					pt = params.At(i).Type()
+				}
+				if pt == nil {
+					continue
+				}
+				if _, isIface := pt.Underlying().(*types.Interface); isIface {
+					sink(arg.Pos(), arg, "is boxed into an interface value, which can be stored anywhere")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagateCalls folds callee parameter summaries into this function:
+// passing a match to an escaping parameter makes the corresponding
+// caller parameter escape too (when the argument is rooted at one).
+// Reports nothing; returns whether the summary grew.
+func propagateCalls(pass *Pass, infos map[*types.Func]*escapeInfo, info *escapeInfo) bool {
+	grew := false
+	ast.Inspect(info.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, calleeInfo := resolveLocalCall(pass, infos, call)
+		if calleeInfo == nil || calleeInfo.exempt {
+			return true
+		}
+		for i, arg := range call.Args {
+			if !exprHoldsMatch(pass, arg) {
+				continue
+			}
+			p := calleeParam(callee, calleeInfo, call, i)
+			if p == nil {
+				continue
+			}
+			desc, esc := calleeInfo.escapes[p]
+			if !esc {
+				continue
+			}
+			obj := rootVar(pass, arg)
+			if obj == nil {
+				continue
+			}
+			for _, own := range info.params {
+				if obj == own {
+					if _, ok := info.escapes[own]; !ok {
+						info.escapes[own] = desc + " (via " + calleeInfo.fn.Name.Name + ")"
+						grew = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return grew
+}
+
+// reportEscapingCalls flags call sites that feed a match into a callee
+// parameter known to escape.
+func reportEscapingCalls(pass *Pass, infos map[*types.Func]*escapeInfo, info *escapeInfo) {
+	ast.Inspect(info.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, calleeInfo := resolveLocalCall(pass, infos, call)
+		if calleeInfo == nil || calleeInfo.exempt {
+			return true
+		}
+		for i, arg := range call.Args {
+			if !exprHoldsMatch(pass, arg) {
+				continue
+			}
+			p := calleeParam(callee, calleeInfo, call, i)
+			if p == nil {
+				continue
+			}
+			if desc, esc := calleeInfo.escapes[p]; esc {
+				pass.Reportf(arg.Pos(),
+					"arena-owned *match passed to %s, where parameter %q %s; the match escapes its single holder through this call",
+					calleeInfo.fn.Name.Name, p.Name(), desc)
+			}
+		}
+		return true
+	})
+}
+
+// nonRetainingCall recognizes stdlib calls that box their argument but
+// provably do not retain it past the call — boxing there is not an
+// escape. Kept deliberately narrow: only the sort package's
+// slice-taking entry points, which the engine's phase ordering uses.
+func nonRetainingCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sort"
+}
+
+// resolveLocalCall resolves a call to a function declared in this
+// package.
+func resolveLocalCall(pass *Pass, infos map[*types.Func]*escapeInfo, call *ast.CallExpr) (*types.Func, *escapeInfo) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil, nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	return fn, infos[fn]
+}
+
+// calleeParam maps a call argument index to the callee's parameter
+// object (skipping the receiver slot for method calls).
+func calleeParam(fn *types.Func, info *escapeInfo, call *ast.CallExpr, argIndex int) *types.Var {
+	sig := fn.Type().(*types.Signature)
+	offset := 0
+	if sig.Recv() != nil {
+		offset = 1 // params[0] is the receiver
+	}
+	idx := argIndex + offset
+	if sig.Variadic() && argIndex >= sig.Params().Len()-1 {
+		idx = len(info.params) - 1
+	}
+	if idx < 0 || idx >= len(info.params) {
+		return nil
+	}
+	return info.params[idx]
+}
+
+// capturedVars lists the outer variables a function literal references.
+func capturedVars(pass *Pass, lit *ast.FuncLit) []*types.Var {
+	inside := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+	seen := make(map[types.Object]bool)
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || inside[obj] || seen[obj] {
+			return true
+		}
+		if isPkgLevel(pass, obj) {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, obj)
+		return true
+	})
+	return out
 }
 
 // holdsMatch reports whether t is, or directly contains, a pointer to

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces the all-or-nothing rule for atomics: once any
+// access to a struct field goes through sync/atomic, every access must.
+// The serving path's lock-free reads (topkSet.thrBits, thrSrc,
+// run.lastThreshold) are only correct because *no* code path loads or
+// stores those fields plainly — a single plain store next to atomic
+// loads is a data race the race detector only catches if a test
+// happens to interleave it. The analyzer builds a per-struct access map
+// over the whole package (production and test files alike) and reports:
+//
+//   - a field accessed through a sync/atomic call site (atomic.LoadX,
+//     atomic.AddX, ... on &s.f) in one place and by plain load, store,
+//     or address-take in another;
+//   - a field of an atomic.* struct type (atomic.Uint64, atomic.Bool,
+//     atomic.Value, ...) used as a value — copied, assigned, passed —
+//     rather than through its methods or its address: the copy is not
+//     synchronized with the original and silently forks the state.
+//
+// The escape hatch for deliberate mixed access — e.g. a field written
+// plainly under a mutex that doubles as a seqlock and read atomically
+// outside it — is a field annotation carrying a justification:
+//
+//	// +whirllint:seqlocked written only under mu; readers tolerate tearing
+//
+// A bare annotation without a justification is itself reported: the
+// invariant being waived must be stated where it is waived.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "report struct fields accessed both atomically and plainly, and atomic.* values used by copy",
+	Run:  runAtomicField,
+}
+
+// fieldAccesses accumulates the package-wide access map of one field.
+type fieldAccesses struct {
+	structName string
+	fieldName  string
+	decl       *ast.Field
+	atomic     []token.Pos // sync/atomic call sites and atomic-type method calls
+	plain      []token.Pos // everything else
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: the fields declared by this package's struct types.
+	fields := make(map[*types.Var]*fieldAccesses)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					fields[obj] = &fieldAccesses{
+						structName: ts.Name.Name,
+						fieldName:  name.Name,
+						decl:       fld,
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+
+	// Pass 2: classify every access. Selector nodes consumed by an
+	// atomic idiom — the &s.f inside atomic.LoadUint64(&s.f), the s.f
+	// receiver of s.f.Store(v) — are recorded as atomic and excluded
+	// from the plain walk.
+	consumed := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				callee, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+					// s.f.Load() / s.f.CompareAndSwap(...): the receiver
+					// path s.f is an atomic use of field f.
+					if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+						if fa := fieldOf(pass, sel, fields); fa != nil {
+							fa.atomic = append(fa.atomic, sel.Sel.Pos())
+							consumed[sel] = true
+						}
+					}
+					return true
+				}
+				// atomic.LoadUint64(&s.f, ...): any &field argument is an
+				// atomic use of that field.
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := un.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if fa := fieldOf(pass, sel, fields); fa != nil {
+						fa.atomic = append(fa.atomic, sel.Sel.Pos())
+						consumed[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			fa := fieldOf(pass, sel, fields)
+			if fa == nil {
+				return true
+			}
+			fa.plain = append(fa.plain, sel.Sel.Pos())
+			return true
+		})
+	}
+
+	// Composite-literal keyed fields (T{f: v}) are plain stores too.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			kv, ok := n.(*ast.KeyValueExpr)
+			if !ok {
+				return true
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, _ := pass.TypesInfo.Uses[key].(*types.Var)
+			if fa := fields[obj]; fa != nil {
+				fa.plain = append(fa.plain, key.Pos())
+			}
+			return true
+		})
+	}
+
+	// Report mixed-access fields. Fields whose type is itself an
+	// atomic.* struct are handled by the copy check below — their only
+	// possible "plain" access is a value copy.
+	for _, fa := range fields {
+		if len(fa.atomic) == 0 || len(fa.plain) == 0 {
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(fa.decl.Type); t != nil && atomicStructType(t) {
+			continue
+		}
+		if ok, justification := fieldAnnotation(fa.decl, "seqlocked"); ok {
+			if justification == "" {
+				pass.Reportf(fa.decl.Pos(),
+					"%sseqlocked on %s.%s needs a justification on the same line (why is mixed atomic/plain access safe here?)",
+					annotationPrefix, fa.structName, fa.fieldName)
+			}
+			continue
+		}
+		first := pass.Fset.Position(fa.atomic[0])
+		for _, pos := range fa.plain {
+			pass.Reportf(pos,
+				"%s.%s is accessed atomically (e.g. %s) but read or written plainly here; every access must go through sync/atomic, or annotate the field %sseqlocked with a justification",
+				fa.structName, fa.fieldName, first, annotationPrefix)
+		}
+	}
+
+	// Copies of atomic.* values: a selector of an atomic-typed field
+	// used as a value (not a method receiver, not address-taken, not a
+	// path step) forks the atomic state.
+	for _, f := range pass.Files {
+		reportAtomicCopies(pass, f, fields)
+	}
+	return nil
+}
+
+// fieldOf resolves a selector expression to one of the package's
+// tracked fields, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr, fields map[*types.Var]*fieldAccesses) *fieldAccesses {
+	obj, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if obj == nil {
+		return nil
+	}
+	return fields[obj]
+}
+
+// atomicStructType reports whether t is one of sync/atomic's struct
+// types (Bool, Int32, Int64, Uint32, Uint64, Uintptr, Pointer[T],
+// Value), whose copies are unsynchronized forks.
+func atomicStructType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// reportAtomicCopies walks one file flagging value uses of
+// atomic-typed fields.
+func reportAtomicCopies(pass *Pass, f *ast.File, fields map[*types.Var]*fieldAccesses) {
+	// Selectors legitimately consumed by a parent node: method-call
+	// receivers, &-operands, and path steps of a longer selector.
+	shielded := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			shielded[n.X] = true // path step or method receiver
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				shielded[n.X] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || shielded[sel] {
+			return true
+		}
+		fa := fieldOf(pass, sel, fields)
+		if fa == nil {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(sel)
+		if t == nil || !atomicStructType(t) {
+			return true
+		}
+		if ok, justification := fieldAnnotation(fa.decl, "seqlocked"); ok && justification != "" {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is an %s; copying it forks the atomic state — use its methods through the original, or pass a pointer",
+			fa.structName, fa.fieldName, t.String())
+		return true
+	})
+}

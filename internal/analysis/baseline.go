@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline is a committed set of accepted pre-existing diagnostics
+// (lint.baseline.json): a new analyzer can land and gate CI before the
+// whole tree is clean, because findings recorded in the baseline do not
+// fail the build — only *new* ones do. Entries are keyed by analyzer,
+// repo-relative file, and message, deliberately not by line: unrelated
+// edits that shift a finding a few lines must not resurrect it. Equal
+// findings are counted, so adding a second instance of a baselined
+// violation in the same file still fails.
+type Baseline struct {
+	// Entries maps baselineKey strings (analyzer\x00file\x00message) to
+	// accepted occurrence counts. Serialized as a sorted list.
+	entries map[baselineKey]int
+}
+
+type baselineKey struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// baselineEntry is the wire form of one accepted finding.
+type baselineEntry struct {
+	baselineKey
+	Count int `json:"count"`
+}
+
+// baselineFile is the on-disk shape, versioned so the format can evolve.
+type baselineFile struct {
+	Version int             `json:"version"`
+	Entries []baselineEntry `json:"entries"`
+}
+
+// NewBaseline builds a baseline accepting exactly the given
+// diagnostics, with paths relativized against root.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	b := &Baseline{entries: make(map[baselineKey]int)}
+	for _, d := range diags {
+		b.entries[keyOf(d, root)]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error: the clean-tree default needs no file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{entries: make(map[baselineKey]int)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported baseline version %d", path, f.Version)
+	}
+	b := &Baseline{entries: make(map[baselineKey]int, len(f.Entries))}
+	for _, e := range f.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		b.entries[e.baselineKey] += n
+	}
+	return b, nil
+}
+
+// Save writes the baseline, sorted for stable diffs.
+func (b *Baseline) Save(path string) error {
+	f := baselineFile{Version: 1}
+	for k, n := range b.entries {
+		f.Entries = append(f.Entries, baselineEntry{baselineKey: k, Count: n})
+	}
+	sort.Slice(f.Entries, func(i, j int) bool {
+		a, c := f.Entries[i], f.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Len returns the number of accepted findings (occurrences, not keys).
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.entries {
+		n += c
+	}
+	return n
+}
+
+// Filter splits diagnostics into new (not covered by the baseline) and
+// baselined ones. Matching consumes baseline budget per key, so k
+// accepted occurrences cover at most k findings; it does not mutate b.
+// The returned membership function reports, for any diagnostic in
+// diags, whether it was baselined (for SARIF's baselineState).
+func (b *Baseline) Filter(diags []Diagnostic, root string) (fresh, old []Diagnostic, baselined func(Diagnostic) bool) {
+	budget := make(map[baselineKey]int, len(b.entries))
+	for k, n := range b.entries {
+		budget[k] = n
+	}
+	member := make(map[Diagnostic]bool, len(diags))
+	for _, d := range diags {
+		k := keyOf(d, root)
+		if budget[k] > 0 {
+			budget[k]--
+			member[d] = true
+			old = append(old, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, old, func(d Diagnostic) bool { return member[d] }
+}
+
+func keyOf(d Diagnostic, root string) baselineKey {
+	return baselineKey{
+		Analyzer: d.Analyzer,
+		File:     relURI(d.Pos.Filename, root),
+		Message:  d.Message,
+	}
+}

@@ -13,10 +13,14 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 )
 
 // A Package is one loaded, parsed and type-checked target package.
 type Package struct {
+	// Path is the import path. For a test variant it is the bracketed
+	// form go list uses ("repro/internal/core [repro/internal/core.test]");
+	// PkgPath strips the brackets.
 	Path  string
 	Name  string
 	Dir   string
@@ -27,6 +31,25 @@ type Package struct {
 	// TypeErrors holds any type-checking problems. Analyzer results on
 	// an ill-typed package are best-effort.
 	TypeErrors []error
+	// LoadErrors holds problems discovered before type-checking: go
+	// list package errors (no Go files, unresolvable imports) and
+	// parse failures. A package with load errors is still returned —
+	// never dropped, never a panic — so callers can report it; Files
+	// and Types hold whatever was salvaged.
+	LoadErrors []error
+}
+
+// PkgPath is the package's import path with any test-variant bracket
+// suffix removed: the path under which other packages import it.
+func (p *Package) PkgPath() string { return strippedPath(p.Path) }
+
+// strippedPath removes go list's test-variant suffix:
+// "repro/internal/core [repro/internal/core.test]" -> "repro/internal/core".
+func strippedPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -39,6 +62,7 @@ type listPkg struct {
 	ImportMap  map[string]string
 	Standard   bool
 	DepOnly    bool
+	ForTest    string
 	Error      *struct{ Err string }
 }
 
@@ -53,13 +77,32 @@ type loader struct {
 }
 
 // Load runs `go list -deps` on the patterns and returns the matched
-// (non-dependency) packages, parsed and type-checked. Test files are
-// excluded: the analyzers enforce invariants on production code.
+// (non-dependency) packages, parsed and type-checked, in dependency
+// order (imported packages before their importers). Test files are
+// excluded; use LoadTests to include them.
 func Load(patterns ...string) ([]*Package, error) {
-	args := append([]string{
+	return load(false, patterns)
+}
+
+// LoadTests is Load with each target's test files included: in-package
+// _test.go files are compiled into the package itself (go list's test
+// variant) and external _test packages are returned as their own
+// targets, so the analyzers see exactly the code `go test` builds.
+// Generated test-main packages (import path ending in ".test") are
+// synthetic and skipped.
+func LoadTests(patterns ...string) ([]*Package, error) {
+	return load(true, patterns)
+}
+
+func load(tests bool, patterns []string) ([]*Package, error) {
+	args := []string{
 		"list", "-e",
-		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,DepOnly,Error",
-		"-deps", "--"}, patterns...)
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,DepOnly,ForTest,Error",
+		"-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(append(args, "--"), patterns...)
 	cmd := exec.Command("go", args...)
 	// Cgo off: every stdlib package the tool touches then has a pure-Go
 	// file set that go/types can check from source, offline.
@@ -78,6 +121,7 @@ func Load(patterns ...string) ([]*Package, error) {
 		busy:  make(map[string]bool),
 	}
 	var targets []*listPkg
+	hasVariant := make(map[string]bool) // plain path -> in-package test variant listed
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		m := new(listPkg)
@@ -87,15 +131,26 @@ func Load(patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("go list output: %v", err)
 		}
 		ld.metas[m.ImportPath] = m
-		if !m.DepOnly {
-			targets = append(targets, m)
+		if m.DepOnly {
+			continue
 		}
+		// Generated test mains (path "p.test") are synthetic harness
+		// code in the build cache, not user code.
+		if strings.HasSuffix(m.ImportPath, ".test") {
+			continue
+		}
+		if m.ForTest != "" && strippedPath(m.ImportPath) == m.ForTest {
+			// In-package test variant: production files + _test.go files
+			// compiled together. It subsumes the plain package.
+			hasVariant[m.ForTest] = true
+		}
+		targets = append(targets, m)
 	}
 
 	var pkgs []*Package
 	for _, m := range targets {
-		if m.Error != nil {
-			return nil, fmt.Errorf("%s: %s", m.ImportPath, m.Error.Err)
+		if hasVariant[m.ImportPath] {
+			continue // the test variant covers this package's files
 		}
 		pkg, err := ld.check(m)
 		if err != nil {
@@ -103,29 +158,94 @@ func Load(patterns ...string) ([]*Package, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
+	sortByDeps(pkgs, ld.metas)
 	return pkgs, nil
 }
 
-// check fully type-checks one target package.
-func (ld *loader) check(m *listPkg) (*Package, error) {
-	files, err := ld.parse(m, parser.ParseComments)
-	if err != nil {
-		return nil, err
+// sortByDeps orders targets so that every package precedes the packages
+// that import it, treating a test variant as standing in for the plain
+// package it covers. Facts exported while analyzing a package are then
+// always available to its importers (see facts.go). Test-only import
+// edges can collapse into apparent cycles (p's tests import q, q
+// imports p); members of such cycles keep their original relative
+// order.
+func sortByDeps(pkgs []*Package, metas map[string]*listPkg) {
+	// Representative target for each plain path.
+	rep := make(map[string]int, len(pkgs))
+	for i, p := range pkgs {
+		rep[p.PkgPath()] = i
 	}
+	indegree := make([]int, len(pkgs))
+	dependents := make([][]int, len(pkgs))
+	for i, p := range pkgs {
+		m := metas[p.Path]
+		if m == nil {
+			continue
+		}
+		for _, imp := range m.Imports {
+			j, ok := rep[strippedPath(imp)]
+			if !ok || j == i {
+				continue
+			}
+			dependents[j] = append(dependents[j], i)
+			indegree[i]++
+		}
+	}
+	order := make([]*Package, 0, len(pkgs))
+	emitted := make([]bool, len(pkgs))
+	// Kahn's algorithm, scanning in original (go list) order for
+	// determinism; any cycle remainder flushes in original order.
+	for remaining := len(pkgs); remaining > 0; {
+		progress := false
+		for i, p := range pkgs {
+			if emitted[i] || indegree[i] > 0 {
+				continue
+			}
+			emitted[i] = true
+			order = append(order, p)
+			for _, d := range dependents[i] {
+				indegree[d]--
+			}
+			remaining--
+			progress = true
+		}
+		if !progress {
+			for i, p := range pkgs {
+				if !emitted[i] {
+					emitted[i] = true
+					order = append(order, p)
+					remaining--
+				}
+			}
+		}
+	}
+	copy(pkgs, order)
+}
+
+// check fully type-checks one target package. Broken packages — a go
+// list error (no Go files, bad imports) or files that fail to parse —
+// come back with LoadErrors set and whatever syntax and types survived,
+// so a degenerate input is reported, never a crash.
+func (ld *loader) check(m *listPkg) (*Package, error) {
+	pkg := &Package{
+		Path: m.ImportPath,
+		Name: m.Name,
+		Dir:  m.Dir,
+		Fset: ld.fset,
+	}
+	if m.Error != nil {
+		pkg.LoadErrors = append(pkg.LoadErrors, fmt.Errorf("%s: %s", m.ImportPath, strings.TrimSpace(m.Error.Err)))
+	}
+	files, parseErrs := ld.parse(m, parser.ParseComments)
+	pkg.Files = files
+	pkg.LoadErrors = append(pkg.LoadErrors, parseErrs...)
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	pkg := &Package{
-		Path:  m.ImportPath,
-		Name:  m.Name,
-		Dir:   m.Dir,
-		Fset:  ld.fset,
-		Files: files,
-		Info:  info,
-	}
+	pkg.Info = info
 	conf := &types.Config{
 		Importer:                 &mapImporter{ld: ld, importMap: m.ImportMap},
 		Sizes:                    types.SizesFor("gc", runtime.GOARCH),
@@ -157,9 +277,9 @@ func (ld *loader) dep(path string) (*types.Package, error) {
 	ld.busy[path] = true
 	defer delete(ld.busy, path)
 
-	files, err := ld.parse(m, 0)
-	if err != nil {
-		return nil, err
+	files, parseErrs := ld.parse(m, 0)
+	if len(parseErrs) > 0 {
+		return nil, parseErrs[0]
 	}
 	conf := &types.Config{
 		Importer:                 &mapImporter{ld: ld, importMap: m.ImportMap},
@@ -175,16 +295,22 @@ func (ld *loader) dep(path string) (*types.Package, error) {
 	return p, nil
 }
 
-func (ld *loader) parse(m *listPkg, mode parser.Mode) ([]*ast.File, error) {
+// parse parses the package's files, collecting (not aborting on) per-
+// file failures: a syntax error in one file still yields the others,
+// plus whatever partial AST the parser salvaged from the broken one.
+func (ld *loader) parse(m *listPkg, mode parser.Mode) ([]*ast.File, []error) {
+	var errs []error
 	files := make([]*ast.File, 0, len(m.GoFiles))
 	for _, name := range m.GoFiles {
 		f, err := parser.ParseFile(ld.fset, filepath.Join(m.Dir, name), nil, mode)
 		if err != nil {
-			return nil, err
+			errs = append(errs, err)
 		}
-		files = append(files, f)
+		if f != nil {
+			files = append(files, f)
+		}
 	}
-	return files, nil
+	return files, errs
 }
 
 // mapImporter resolves one package's imports: through its vendor/module

@@ -1,0 +1,311 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The loader and the vet-tool entry point both promise the same thing
+// about degenerate input: report it, never panic, never drop the
+// package silently. These tests build throwaway modules in t.TempDir()
+// and feed the loader the broken shapes that show up in practice — a
+// file that does not parse, a directory with no Go files, a vendored
+// dependency tree.
+
+// writeTree materializes a file tree under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLoadSyntaxErrorPackage(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com/broken\n\ngo 1.22\n",
+		// ok.go parses; bad.go has a valid package clause but a broken
+		// body, so the package is listed with both files.
+		"ok.go":  "package broken\n\nfunc Fine() int { return 1 }\n",
+		"bad.go": "package broken\n\nfunc Oops() {\n\tif {\n}\n",
+	})
+	t.Chdir(dir)
+
+	pkgs, err := analysis.Load("./...")
+	if err != nil {
+		t.Fatalf("Load on a syntax-error package must report, not fail: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1 (broken packages are returned, not dropped)", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.LoadErrors) == 0 {
+		t.Fatalf("package %s has no LoadErrors; want the parse failure surfaced", pkg.Path)
+	}
+	found := false
+	for _, e := range pkg.LoadErrors {
+		if strings.Contains(e.Error(), "bad.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("LoadErrors %v do not mention bad.go", pkg.LoadErrors)
+	}
+	// The healthy file's syntax must survive for best-effort analysis.
+	if len(pkg.Files) == 0 {
+		t.Fatal("no ASTs salvaged from a package with one good file")
+	}
+	// Running the full suite over the partial package must not panic.
+	if _, err := analysis.Run(analysis.All(), pkgs); err != nil {
+		t.Fatalf("Run over partial package: %v", err)
+	}
+}
+
+func TestLoadNoGoFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod":           "module example.com/empty\n\ngo 1.22\n",
+		"docs/README.txt":  "nothing to compile here\n",
+		"main.go":          "package main\n\nfunc main() {}\n",
+		"docs/placeholder": "",
+	})
+	t.Chdir(dir)
+
+	// Naming the no-Go-files directory explicitly must yield a reported
+	// package, not an abort: go list -e flags it, the loader keeps it.
+	pkgs, err := analysis.Load("./docs")
+	if err != nil {
+		t.Fatalf("Load on a no-Go-files directory must report, not fail: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.LoadErrors) == 0 {
+		t.Fatal("no LoadErrors on a directory without Go files")
+	}
+	if len(pkg.Files) != 0 {
+		t.Errorf("got %d files, want 0", len(pkg.Files))
+	}
+	if _, err := analysis.Run(analysis.All(), pkgs); err != nil {
+		t.Fatalf("Run over an empty package: %v", err)
+	}
+}
+
+func TestLoadVendoredDeps(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com/vend\n\ngo 1.22\n\nrequire example.com/dep v1.0.0\n",
+		"vendor/modules.txt": "# example.com/dep v1.0.0\n" +
+			"## explicit; go 1.22\n" +
+			"example.com/dep\n",
+		"vendor/example.com/dep/dep.go": "package dep\n\nfunc Answer() int { return 42 }\n",
+		"main.go": "package main\n\n" +
+			"import \"example.com/dep\"\n\n" +
+			"func main() { _ = dep.Answer() }\n",
+	})
+	t.Chdir(dir)
+
+	pkgs, err := analysis.Load("./...")
+	if err != nil {
+		t.Fatalf("Load with a vendor directory: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d target packages, want 1 (vendored deps are deps, not targets)", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.LoadErrors) != 0 || len(pkg.TypeErrors) != 0 {
+		t.Fatalf("vendored import did not resolve: load=%v type=%v", pkg.LoadErrors, pkg.TypeErrors)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("main") == nil {
+		t.Fatal("package did not type-check against its vendored dependency")
+	}
+	if _, err := analysis.Run(analysis.All(), pkgs); err != nil {
+		t.Fatalf("Run over vendored module: %v", err)
+	}
+}
+
+func TestLoadTestsVariants(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com/tested\n\ngo 1.22\n",
+		"lib.go": "package tested\n\nfunc Double(n int) int { return n * 2 }\n",
+		"lib_internal_test.go": "package tested\n\n" +
+			"import \"testing\"\n\n" +
+			"func TestDouble(t *testing.T) { _ = Double(2) }\n",
+		"lib_external_test.go": "package tested_test\n\n" +
+			"import (\n\t\"testing\"\n\n\t\"example.com/tested\"\n)\n\n" +
+			"func TestDoubleExt(t *testing.T) { _ = tested.Double(3) }\n",
+	})
+	t.Chdir(dir)
+
+	pkgs, err := analysis.LoadTests("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	// The in-package test variant subsumes the plain package; the
+	// external _test package is its own target; the synthetic test main
+	// is skipped.
+	byPath := make(map[string]*analysis.Package)
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	variant := byPath["example.com/tested [example.com/tested.test]"]
+	if variant == nil {
+		t.Fatalf("no in-package test variant in %v", paths)
+	}
+	if byPath["example.com/tested"] != nil {
+		t.Errorf("plain package listed alongside its test variant: %v", paths)
+	}
+	if byPath["example.com/tested_test [example.com/tested.test]"] == nil {
+		t.Errorf("external test package missing from %v", paths)
+	}
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.Path, ".test") {
+			t.Errorf("synthetic test main %s leaked into targets", p.Path)
+		}
+	}
+	if got := variant.PkgPath(); got != "example.com/tested" {
+		t.Errorf("variant PkgPath() = %q, want the bracket-stripped path", got)
+	}
+	names := make(map[string]bool)
+	for _, f := range variant.Files {
+		names[filepath.Base(variant.Fset.Position(f.Pos()).Filename)] = true
+	}
+	if !names["lib.go"] || !names["lib_internal_test.go"] {
+		t.Errorf("variant files = %v; want production and _test.go sources together", names)
+	}
+}
+
+func TestLoadDependencyOrder(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod":       "module example.com/order\n\ngo 1.22\n",
+		"top/top.go":   "package top\n\nimport \"example.com/order/base\"\n\nfunc Use() int { return base.N }\n",
+		"base/base.go": "package base\n\nconst N = 7\n",
+	})
+	t.Chdir(dir)
+
+	pkgs, err := analysis.Load("./top", "./base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, p := range pkgs {
+		pos[p.PkgPath()] = i
+	}
+	if pos["example.com/order/base"] > pos["example.com/order/top"] {
+		t.Errorf("base sorted after its importer top: %v", pkgs)
+	}
+}
+
+// TestVetToolDegenerateInputs drives RunVetTool the way cmd/go does,
+// but with the inputs broken in each of the ways a vet run can break.
+func TestVetToolDegenerateInputs(t *testing.T) {
+	writeCfg := func(t *testing.T, cfg *analysis.VetConfig) string {
+		t.Helper()
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "vet.cfg")
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("missing config", func(t *testing.T) {
+		if code := analysis.RunVetTool(filepath.Join(t.TempDir(), "absent.cfg"), analysis.All()); code != 1 {
+			t.Errorf("exit code = %d, want 1", code)
+		}
+	})
+
+	t.Run("malformed config", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "vet.cfg")
+		if err := os.WriteFile(path, []byte("{not json"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if code := analysis.RunVetTool(path, analysis.All()); code != 1 {
+			t.Errorf("exit code = %d, want 1", code)
+		}
+	})
+
+	t.Run("syntax error honors SucceedOnTypecheckFailure", func(t *testing.T) {
+		dir := t.TempDir()
+		writeTree(t, dir, map[string]string{
+			"bad.go": "package broken\n\nfunc Oops() {\n\tif {\n}\n",
+		})
+		for _, succeed := range []bool{true, false} {
+			vetx := filepath.Join(t.TempDir(), "out.vetx")
+			cfg := &analysis.VetConfig{
+				ImportPath:                "example.com/broken",
+				Dir:                       dir,
+				GoFiles:                   []string{filepath.Join(dir, "bad.go")},
+				VetxOutput:                vetx,
+				SucceedOnTypecheckFailure: succeed,
+			}
+			want := 1
+			if succeed {
+				want = 0
+			}
+			if code := analysis.RunVetTool(writeCfg(t, cfg), analysis.All()); code != want {
+				t.Errorf("SucceedOnTypecheckFailure=%v: exit code = %d, want %d", succeed, code, want)
+			}
+			// The go command requires the facts file regardless.
+			if _, err := os.Stat(vetx); err != nil {
+				t.Errorf("SucceedOnTypecheckFailure=%v: facts file not written: %v", succeed, err)
+			}
+		}
+	})
+
+	t.Run("no Go files", func(t *testing.T) {
+		vetx := filepath.Join(t.TempDir(), "out.vetx")
+		cfg := &analysis.VetConfig{
+			ImportPath: "example.com/empty",
+			VetxOutput: vetx,
+		}
+		if code := analysis.RunVetTool(writeCfg(t, cfg), analysis.All()); code != 0 {
+			t.Errorf("exit code = %d, want 0 for an empty unit", code)
+		}
+		if _, err := os.Stat(vetx); err != nil {
+			t.Errorf("facts file not written for empty unit: %v", err)
+		}
+	})
+
+	t.Run("corrupt dependency facts tolerated", func(t *testing.T) {
+		dir := t.TempDir()
+		writeTree(t, dir, map[string]string{
+			"ok.go": "package ok\n\nfunc Fine() int { return 1 }\n",
+		})
+		badVetx := filepath.Join(dir, "dep.vetx")
+		if err := os.WriteFile(badVetx, []byte("\x00garbage"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		cfg := &analysis.VetConfig{
+			ImportPath:  "example.com/ok",
+			Dir:         dir,
+			GoFiles:     []string{filepath.Join(dir, "ok.go")},
+			PackageVetx: map[string]string{"example.com/dep": badVetx},
+			VetxOutput:  filepath.Join(t.TempDir(), "out.vetx"),
+		}
+		if code := analysis.RunVetTool(writeCfg(t, cfg), analysis.All()); code != 0 {
+			t.Errorf("exit code = %d, want 0 (bad fact files degrade precision, not the run)", code)
+		}
+	})
+}

@@ -2,5 +2,13 @@ package analysis
 
 // All returns every Whirlpool analyzer, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{ArenaEscape, CtxPoll, FloatScore, GoroutineLeak, LockGuard}
+	return []*Analyzer{
+		ArenaEscape,
+		AtomicField,
+		CtxPoll,
+		FloatScore,
+		GoroutineLeak,
+		HotAlloc,
+		LockGuard,
+	}
 }

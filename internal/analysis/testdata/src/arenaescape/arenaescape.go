@@ -1,6 +1,8 @@
 // Package arenaescape is golden testdata for the arenaescape analyzer.
 package arenaescape
 
+import "sort"
+
 // match mirrors the engine's arena-owned partial match; its own fields
 // are never reported.
 type match struct {
@@ -46,4 +48,109 @@ type deepLeak struct {
 // the responsible (and annotated) one, so wrapped itself stays silent.
 type wrapped struct {
 	fl freelist
+}
+
+// ---- flow layer: match values escaping through statements ----
+
+// lastBest is the kind of storage the run cannot see into.
+var lastBest *match
+
+var recent []*match
+
+// Shape A: assignment into a package-level variable.
+func publish(m *match) {
+	lastBest = m // want `arena-owned \*match is stored in package-level variable lastBest`
+}
+
+// Shape B: append rooted at a package-level slice is a store into it.
+func remember(m *match) {
+	recent = append(recent, m) // want `arena-owned \*match is stored in package-level variable recent`
+}
+
+// Shape C: map stores outlive the run's view of the match.
+func index(byID map[int]*match, m *match) {
+	byID[0] = m // want `arena-owned \*match is stored in a map`
+}
+
+// Shape D: channel sends hand the match to an unknown receiver.
+func feed(ch chan *match, m *match) {
+	ch <- m // want `arena-owned \*match is sent on a channel`
+}
+
+// Shape E: goroutines outlive the match's release, whether the match is
+// passed as an argument or captured by the closure.
+func spawnArg(m *match) {
+	go consume(m) // want `arena-owned \*match is handed to a goroutine`
+}
+
+func spawnCapture(m *match) {
+	go func() { // want `arena-owned \*match "m" is captured by a goroutine closure`
+		_ = m.score
+	}()
+}
+
+func consume(m *match) { _ = m.score }
+
+// Shape F: interface boxing lets the match be stored anywhere.
+type anySink interface{ accept(v any) }
+
+func box(s anySink, m *match) {
+	s.accept(m) // want `arena-owned \*match is boxed into an interface value`
+}
+
+// Shape G: the interprocedural path — stash's parameter reaches a
+// global, so every call site feeding it is an escape too, transitively.
+func stash(m *match) {
+	lastBest = m // want `arena-owned \*match is stored in package-level variable lastBest`
+}
+
+func relay(m *match) {
+	stash(m) // want `arena-owned \*match passed to stash, where parameter "m" is stored in package-level variable lastBest`
+}
+
+func source(m *match) {
+	relay(m) // want `arena-owned \*match passed to relay, where parameter "m" is stored in package-level variable lastBest \(via stash\)`
+}
+
+// Sanctioned: storage through a field of an annotated owner type.
+// +whirllint:matchowner
+type registry struct {
+	byID map[int]*match
+	feed chan *match
+}
+
+func (r *registry) put(id int, m *match) {
+	r.byID[id] = m // registry is an annotated owner: silent
+	r.feed <- m
+}
+
+// Sanctioned: a function annotated as a transfer point is exempt
+// end to end, and calls into it are not escapes.
+// +whirllint:matchowner
+func recycle(fl *freelist, m *match) {
+	fl.free = append(fl.free, m)
+}
+
+func release(fl *freelist, m *match) {
+	recycle(fl, m) // callee is a sanctioned transfer point: silent
+}
+
+// Sanctioned: sort boxes the slice header but provably does not retain
+// it past the call.
+func order(alive []*match) {
+	sort.Slice(alive, func(i, j int) bool {
+		return alive[i].score > alive[j].score
+	})
+}
+
+// Local copies between locals are not sinks.
+func rescore(m *match) float64 {
+	cur := m
+	best := cur.score
+	for _, b := range cur.bindings {
+		if b.score > best {
+			best = b.score
+		}
+	}
+	return best
 }

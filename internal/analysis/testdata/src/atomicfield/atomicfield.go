@@ -1,0 +1,100 @@
+// Package atomicfield is golden testdata for the atomicfield analyzer:
+// each line with a want expectation is a seeded violation, everything
+// else must stay silent.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter mixes atomic and plain access to the same fields — the race
+// class the analyzer exists to catch.
+type counter struct {
+	hits   int64
+	misses int64
+	ratio  float64
+}
+
+func (c *counter) recordHit() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 0)
+}
+
+// Shape 1: plain read of an atomically written field.
+func (c *counter) snapshotRacy() int64 {
+	return c.hits // want `counter\.hits is accessed atomically .* but read or written plainly`
+}
+
+// Shape 2: plain store next to atomic adds.
+func (c *counter) resetRacy() {
+	c.misses = 0 // want `counter\.misses is accessed atomically .* but read or written plainly`
+}
+
+// Shape 3: composite-literal initialization of an atomically used field
+// is a plain store too — construction is only safe before publication,
+// which the analyzer cannot prove.
+func newCounter() *counter {
+	return &counter{hits: 1} // want `counter\.hits is accessed atomically .* but read or written plainly`
+}
+
+// Shape 4: taking the address for a non-atomic consumer leaks a plain
+// access path.
+func (c *counter) leak() *int64 {
+	return &c.misses // want `counter\.misses is accessed atomically .* but read or written plainly`
+}
+
+// Clean: ratio is never touched atomically, so plain access is fine.
+func (c *counter) setRatio(r float64) { c.ratio = r }
+
+// gauges holds atomic.* struct-typed fields: those must only be used
+// through methods or by pointer, never copied.
+type gauges struct {
+	depth atomic.Int64
+	peak  atomic.Int64
+}
+
+func (g *gauges) observe(d int64) {
+	g.depth.Store(d)
+	if d > g.peak.Load() {
+		g.peak.Store(d)
+	}
+}
+
+// Shape 5: copying an atomic value forks its state.
+func (g *gauges) snapshot() int64 {
+	d := g.depth // want `gauges\.depth is an sync/atomic\.Int64; copying it forks the atomic state`
+	return d.Load()
+}
+
+// Shape 6: assigning one atomic field into another copies both sides.
+func (g *gauges) clobber() {
+	g.peak = g.depth // want `gauges\.peak is an sync/atomic\.Int64` `gauges\.depth is an sync/atomic\.Int64`
+}
+
+// Clean: methods and pointers are the sanctioned uses.
+func (g *gauges) peakPtr() *atomic.Int64 { return &g.peak }
+
+// seqlocked carries the escape hatch: gen is written plainly under mu
+// (the seqlock writer side) and read atomically by readers.
+type seqlocked struct {
+	mu sync.Mutex
+	// +whirllint:seqlocked written under mu only; readers retry on odd gen
+	gen uint64
+}
+
+// +whirllint:locked
+func (s *seqlocked) bump() { s.gen++ }
+
+func (s *seqlocked) read() uint64 { return atomic.LoadUint64(&s.gen) }
+
+// badseq has the annotation but no justification: the waiver itself is
+// reported, once, at the declaration.
+type badseq struct {
+	// +whirllint:seqlocked
+	gen uint64 // want `\+whirllint:seqlocked on badseq\.gen needs a justification`
+}
+
+// +whirllint:locked
+func (s *badseq) bump()        { s.gen++ }
+func (s *badseq) read() uint64 { return atomic.LoadUint64(&s.gen) }

@@ -11,16 +11,18 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"strings"
 )
 
 // This file implements the `go vet -vettool` protocol, mirroring
 // golang.org/x/tools/go/analysis/unitchecker: the go command invokes
 // the tool once per package with a JSON config file describing the
 // package's sources and the export data of its dependencies (already
-// compiled, so no source type-checking is needed). The tool writes the
-// (for this suite always empty) facts file the go command expects and
-// reports diagnostics on stderr.
+// compiled, so no source type-checking is needed). The tool writes a
+// facts file (the suite's exported object facts, serialized by
+// FactStore.Encode) for downstream units and reports diagnostics on
+// stderr. Facts of dependencies arrive through PackageVetx, so
+// interprocedural analyzers (hotalloc) see across package boundaries
+// exactly as they do in standalone mode.
 
 // VetConfig is the JSON payload cmd/go hands a vet tool.
 type VetConfig struct {
@@ -50,34 +52,48 @@ func RunVetTool(cfgPath string, analyzers []*Analyzer) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	// The go command requires the facts file even from tools that keep
-	// no facts, and for VetxOnly packages (dependencies loaded just for
-	// facts) it is the only output needed.
+	// The go command requires the facts file to exist even when the unit
+	// contributes none; write an empty one up front and overwrite it
+	// with real facts once analysis succeeds.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
+	// Standard-library dependencies carry none of this suite's
+	// annotations; skip their (VetxOnly) units instead of re-analyzing
+	// the stdlib on every vet run.
+	if cfg.VetxOnly && cfg.Standard[cfg.ImportPath] {
 		return 0
 	}
 
+	// Test files are analyzed like everything else: the go command hands
+	// the test variant of each package as its own unit, with GoFiles
+	// covering both production and _test.go sources.
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	var parseErrs []error
 	for _, name := range cfg.GoFiles {
-		// The go command also vets test variants of each package; this
-		// suite enforces invariants on production code only (tests
-		// assert exact scores and drive loops synthetically).
-		if strings.HasSuffix(name, "_test.go") {
-			continue
-		}
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+			parseErrs = append(parseErrs, err)
 		}
-		files = append(files, f)
+		if f != nil {
+			files = append(files, f)
+		}
+	}
+	if len(parseErrs) > 0 {
+		// A unit that does not parse is reported, not crashed on —
+		// matching unitchecker, the typecheck-failure escape hatch
+		// applies here too.
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, err := range parseErrs {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		return 1
 	}
 	if len(files) == 0 {
 		return 0
@@ -121,6 +137,20 @@ func RunVetTool(cfgPath string, analyzers []*Analyzer) int {
 		return 1
 	}
 
+	// Dependency facts: each .vetx file holds the facts its unit
+	// exported (JSON from FactStore.Encode). Unreadable or empty files
+	// are tolerated — a missing fact only makes hotalloc less precise.
+	store := NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		if err := store.Decode(data); err != nil {
+			fmt.Fprintf(os.Stderr, "whirlpool-lint: ignoring fact file %s: %v\n", vetx, err)
+		}
+	}
+
 	pkg := &Package{
 		Path:  cfg.ImportPath,
 		Name:  tpkg.Name(),
@@ -130,10 +160,24 @@ func RunVetTool(cfgPath string, analyzers []*Analyzer) int {
 		Types: tpkg,
 		Info:  info,
 	}
-	diags, err := Run(analyzers, []*Package{pkg})
+	diags, err := RunWithFacts(analyzers, []*Package{pkg}, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		facts, err := store.Encode(cfg.ImportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)

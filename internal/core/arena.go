@@ -90,9 +90,10 @@ func newMatchArena(n int, concurrent, disabled bool) *matchArena {
 // get returns a cleared match with a bindings slice of the arena's
 // width: recycled when the freelist has one, otherwise carved from the
 // current slab.
+// +whirllint:hotpath
 func (a *matchArena) get() *match {
 	if a.disabled {
-		return &match{bindings: make([]*xmltree.Node, a.n)}
+		return a.getUnpooled()
 	}
 	idx := 0
 	s := &a.shards[0]
@@ -108,10 +109,19 @@ func (a *matchArena) get() *match {
 	return m
 }
 
+// getUnpooled is the reuse-disabled path: matches come straight from
+// the heap so the GC (not the freelist) reclaims them — the baseline
+// configurations measure against exactly this cost.
+// +whirllint:allocok arena reuse disabled by config: every get deliberately heap-allocates
+func (a *matchArena) getUnpooled() *match {
+	return &match{bindings: make([]*xmltree.Node, a.n)}
+}
+
 // getLocked pops the freelist or carves the slab. Callers hold s.mu
 // when the arena is sharded; the single-shard layout has no lock to
 // hold, which the annotation records.
 // +whirllint:locked
+// +whirllint:allocok amortized: one slab of arenaChunk matches per refill, not one per get
 func (s *arenaShard) getLocked(n int, home int32) *match {
 	if ln := len(s.free); ln > 0 {
 		m := s.free[ln-1]
@@ -139,6 +149,7 @@ func (s *arenaShard) getLocked(n int, home int32) *match {
 // ownership: the match may be handed out again by the very next get, so
 // no reference to it — or to its bindings slice — may be retained.
 // Nil-safe; a no-op when reuse is disabled.
+// +whirllint:hotpath
 func (a *matchArena) release(m *match) {
 	if m == nil || a.disabled {
 		return

@@ -23,6 +23,7 @@ func mkMatch(rootOrd int, score float64, seq int64) *match {
 	}
 }
 
+// +whirllint:exactscore synthetic scores are exact by construction
 func TestTopkSetBasics(t *testing.T) {
 	tk := newTopkSet(2, 0, false)
 	if _, ok := tk.threshold(); ok {
@@ -52,6 +53,7 @@ func TestTopkSetBasics(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore synthetic scores are exact by construction
 func TestTopkSetOnePerRoot(t *testing.T) {
 	tk := newTopkSet(3, 0, false)
 	tk.offer(mkMatch(7, 0.5, 1), 0)
@@ -82,6 +84,7 @@ func TestTopkSetFloor(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore synthetic scores are exact by construction
 func TestTopkSetEvictedRootCanReturn(t *testing.T) {
 	tk := newTopkSet(1, 0, false)
 	tk.offer(mkMatch(1, 0.5, 1), 0)
@@ -179,6 +182,7 @@ func TestTopkSetFloorSourceStaysRemoteless(t *testing.T) {
 
 // TestTopkSetThresholdMonotone hammers the lock-free threshold cache
 // from concurrent offerers and checks it never decreases.
+// +whirllint:busywait watcher spins on the threshold cache deliberately; bounded by the offerers' Wait
 func TestTopkSetThresholdMonotone(t *testing.T) {
 	tk := newTopkSet(3, 0, false)
 	stop := make(chan struct{})
@@ -256,6 +260,7 @@ func TestSharedTopKAcrossRuns(t *testing.T) {
 	}
 }
 
+// +whirllint:busywait drains a three-element queue; pop's ok=false ends the loop
 func TestPQOrdering(t *testing.T) {
 	var q pq
 	q.push(mkMatch(1, 0.1, 3), 0.1)
@@ -336,6 +341,8 @@ func TestLiveCounterSignalsZero(t *testing.T) {
 	c.markDone()
 }
 
+// +whirllint:exactscore extendInto's score arithmetic is exact on these inputs
+// +whirllint:matchowner test inspects the extension it owns
 func TestMatchExtend(t *testing.T) {
 	m := mkMatch(1, 0.4, 1)
 	m.bindings = append(m.bindings, nil, nil)

@@ -31,11 +31,13 @@ func (h matchHeap) less(i, j int) bool {
 	return h[i].m.seq < h[j].m.seq
 }
 
+// +whirllint:hotpath
 func (h *matchHeap) push(it prioritized) {
 	*h = append(*h, it)
 	h.up(len(*h) - 1)
 }
 
+// +whirllint:hotpath
 func (h *matchHeap) pop() prioritized {
 	old := *h
 	n := len(old) - 1

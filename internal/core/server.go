@@ -28,6 +28,7 @@ type scratch struct {
 // outer-join spawns the null-extended match under leaf deletion;
 // otherwise the match dies. m stays owned by the caller: extensions copy
 // out of it, so the caller releases it after consuming the result.
+// +whirllint:hotpath
 func (r *run) process(m *match, sid int, sc *scratch) []*match {
 	e := r.Engine
 	r.stats.serverOps.Add(1)

@@ -111,6 +111,7 @@ func bindingsLess(a, b []*xmltree.Node) bool {
 // results, and an epsilon would make "equal" depend on accumulation
 // order.
 // +whirllint:exactscore
+// +whirllint:hotpath
 func (t *topkSet) offer(m *match, src int32) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -158,6 +159,7 @@ func (t *topkSet) offer(m *match, src int32) {
 // offered into one set binds the same query, so the binding width qn is
 // fixed after the first offer. Callers hold t.mu.
 // +whirllint:locked
+// +whirllint:allocok amortized: two allocations per entryChunk distinct roots, not per offer
 func (t *topkSet) newEntry(rootOrd int, m *match) *topkEntry {
 	if t.qn != len(m.bindings) {
 		if t.qn == 0 {

@@ -68,6 +68,7 @@ func (ix *Index) NodesValued(tag, value string) []*xmltree.Node {
 // vt, in document order. Match-any and equality tests hit postings
 // directly; other operators filter the tag postings once and cache the
 // result.
+// +whirllint:allocok cache fill on the first probe of a (tag, predicate) pair; steady-state hits are allocation-free
 func (ix *Index) NodesMatching(tag string, vt ValueTest) []*xmltree.Node {
 	switch {
 	case vt.Any():
@@ -104,6 +105,7 @@ func (ix *Index) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, v
 
 // AppendCandidates implements index.Source's append-into-scratch probe:
 // Candidates' result is appended to dst and the extended slice returned.
+// +whirllint:hotpath
 func (ix *Index) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt ValueTest) []*xmltree.Node {
 	switch axis {
 	case dewey.Self:

@@ -77,6 +77,7 @@ func TestEdgeGenOnlyRequiresContainment(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore fixture scores are exact by construction
 func TestLeafDeletionWithPromotion(t *testing.T) {
 	ix, q, s := env(t, "/book[./info/publisher/name = 'psmith']")
 	// With the full relaxation set, book 2's promoted publisher/name and

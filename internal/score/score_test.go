@@ -138,6 +138,7 @@ func TestTFIDFDenseNormalization(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore ranking assertions compare exact scorer output
 func TestAnswerScoreRanksExactMatchFirst(t *testing.T) {
 	ix := buildIx(t)
 	q := pattern.MustParse("/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']")
@@ -218,6 +219,7 @@ func TestTableScorer(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore determinism means bit-identical scores across calls
 func TestRandomScorerDeterminism(t *testing.T) {
 	doc, _ := xmltree.ParseString(`<r><a>1</a><a>2</a></r>`)
 	n := doc.Nodes[1]
@@ -232,6 +234,7 @@ func TestRandomScorerDeterminism(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore bound checks are exact by definition
 func TestRandomScorerBounds(t *testing.T) {
 	doc, _ := xmltree.ParseString(`<r><a>1</a><a>2</a><a>3</a></r>`)
 	sparse := NewRandomSparse(1)
@@ -258,6 +261,7 @@ func TestRandomScorerBounds(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore cluster membership compares exact contributions
 func TestRandomDenseIsClustered(t *testing.T) {
 	doc, _ := xmltree.ParseString(`<r><a>1</a><a>2</a><a>3</a><a>4</a><a>5</a></r>`)
 	dense := NewRandomDense(3)

@@ -89,6 +89,7 @@ func (c *Corpus) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, v
 
 // AppendCandidates implements index.Source's append-into-scratch probe
 // with the same delegation structure as Candidates.
+// +whirllint:hotpath
 func (c *Corpus) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
 	switch axis {
 	case dewey.Self:
@@ -225,6 +226,7 @@ func (v *spineView) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string
 	return v.c.Candidates(anchor, axis, tag, vt)
 }
 
+// +whirllint:hotpath
 func (v *spineView) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
 	return v.c.AppendCandidates(dst, anchor, axis, tag, vt)
 }

@@ -37,6 +37,7 @@ func (c *lruCache) get(key string) ([]*xmltree.Node, bool) {
 	return el.Value.(*cacheItem).nodes, true
 }
 
+// +whirllint:allocok one list element per cached postings key, bounded by the LRU limit
 func (c *lruCache) put(key string, nodes []*xmltree.Node) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheItem).nodes = nodes

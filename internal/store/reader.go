@@ -199,6 +199,7 @@ func valueKey(tag, value string) string { return tag + "\x00" + value }
 func (r *Reader) Document() *xmltree.Document { return r.doc }
 
 // decode materializes one postings list.
+// +whirllint:allocok cache-miss materialization of one postings list; results are LRU-cached
 func (r *Reader) decode(sp span) ([]*xmltree.Node, error) {
 	ords, err := decodeOrds(r.raw[sp.start:sp.end], sp.count)
 	if err != nil {
@@ -263,6 +264,7 @@ func (r *Reader) NodesValued(tag, value string) []*xmltree.Node {
 // NodesMatching implements index.Source: equality and match-any tests
 // hit the stored postings; other operators filter the tag postings, with
 // the result cached.
+// +whirllint:allocok cache fill on the first probe of a (tag, predicate) pair; steady-state hits are allocation-free
 func (r *Reader) NodesMatching(tag string, vt index.ValueTest) []*xmltree.Node {
 	switch {
 	case vt.Any():
@@ -301,6 +303,7 @@ func (r *Reader) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, v
 }
 
 // AppendCandidates implements index.Source's append-into-scratch probe.
+// +whirllint:hotpath
 func (r *Reader) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
 	switch axis {
 	case dewey.Self:

@@ -188,6 +188,7 @@ func TestAnswerScore(t *testing.T) {
 	}
 }
 
+// +whirllint:exactscore reuse must reproduce bit-identical scores
 func TestEngineReuse(t *testing.T) {
 	db, _ := LoadString(catalogXML)
 	q := MustParseQuery("/book[./title = 'wodehouse']")
