@@ -5,13 +5,26 @@
 //
 //	benchcheck -file BENCH_core.json -case shards-8 -min-speedup 2
 //	benchcheck -file BENCH_core.json -alloc-case single -max-alloc-ratio 0.2
+//	benchcheck -file BENCH_core.json -multicore-case shards-8/gmp-8 -min-multicore-speedup 6 -require-steals
 //
 // The allocation gate divides the pinned case's allocs/op (arena
 // enabled) by its in-report baseline (the same run with reuse
 // disabled); a ratio of 0.2 demands the memory-reuse layer eliminate at
-// least 80% of hot-path allocations. It exits non-zero with a
-// diagnostic when a named case is missing or a gate fails. Passing
-// -max-alloc-ratio 0 (or -min-speedup 0) skips that gate.
+// least 80% of hot-path allocations.
+//
+// The multi-core gate checks a GOMAXPROCS-swept case (see whirlbench
+// -bench-gmp). Its speedup requirement is only enforceable when the
+// host actually delivered the cores the case asked for: when the
+// case's effective cores fall short of its gomaxprocs the gate prints
+// a notice and skips the speedup check — the number would measure the
+// kernel's timeslicing, not the executor — unless -strict-multicore
+// turns that honesty into a failure (for hosts known to have the
+// cores). -require-steals is enforced regardless: work stealing is
+// goroutine interleaving, which single-core hosts exhibit too.
+//
+// benchcheck exits non-zero with a diagnostic when a named case is
+// missing or a gate fails. Passing -max-alloc-ratio 0, -min-speedup 0
+// or -min-multicore-speedup 0 skips that gate.
 package main
 
 import (
@@ -21,16 +34,23 @@ import (
 	"os"
 )
 
+type benchCase struct {
+	Name                string  `json:"name"`
+	Shards              int     `json:"shards"`
+	NsPerOp             int64   `json:"ns_per_op"`
+	Speedup             float64 `json:"speedup"`
+	GoMaxProcs          int     `json:"gomaxprocs"`
+	Cores               int     `json:"cores"`
+	Workers             int     `json:"workers"`
+	Steals              int64   `json:"steals"`
+	StolenMatches       int64   `json:"stolen_matches"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op"`
+}
+
 type report struct {
-	Cores int `json:"cores"`
-	Cases []struct {
-		Name                string  `json:"name"`
-		Shards              int     `json:"shards"`
-		NsPerOp             int64   `json:"ns_per_op"`
-		Speedup             float64 `json:"speedup"`
-		AllocsPerOp         int64   `json:"allocs_per_op"`
-		BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op"`
-	} `json:"cases"`
+	Cores int         `json:"cores"`
+	Cases []benchCase `json:"cases"`
 }
 
 func main() {
@@ -40,6 +60,10 @@ func main() {
 		minSpeedup    = flag.Float64("min-speedup", 2, "required speedup over the single-engine baseline (0 skips)")
 		allocCase     = flag.String("alloc-case", "single", "case name for the allocation gate")
 		maxAllocRatio = flag.Float64("max-alloc-ratio", 0, "required allocs/op ÷ baseline allocs/op ceiling (0 skips)")
+		mcCase        = flag.String("multicore-case", "shards-8/gmp-8", "case name for the multi-core gate")
+		minMCSpeedup  = flag.Float64("min-multicore-speedup", 0, "required multi-core speedup over the single-engine gmp=1 baseline (0 skips the gate)")
+		requireSteals = flag.Bool("require-steals", false, "with the multi-core gate: fail unless the case recorded work-stealing activity")
+		strictMC      = flag.Bool("strict-multicore", false, "fail (instead of skipping the speedup check) when the host has fewer cores than the case's GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -57,6 +81,48 @@ func main() {
 	if *maxAllocRatio > 0 {
 		checkAllocs(&rep, *file, *allocCase, *maxAllocRatio)
 	}
+	if *minMCSpeedup > 0 || *requireSteals {
+		checkMulticore(&rep, *file, *mcCase, *minMCSpeedup, *requireSteals, *strictMC)
+	}
+}
+
+// checkMulticore gates a GOMAXPROCS-swept case: speedup when the host
+// could physically deliver the parallelism, steal activity always.
+func checkMulticore(rep *report, file, caseName string, minSpeedup float64, requireSteals, strict bool) {
+	for _, c := range rep.Cases {
+		if c.Name != caseName {
+			continue
+		}
+		if c.GoMaxProcs == 0 {
+			fatal(fmt.Errorf("%s: case %s has no gomaxprocs (report predates the multi-core sweep; regenerate with whirlbench -bench-json)",
+				file, c.Name))
+		}
+		if requireSteals && c.Steals == 0 {
+			fatal(fmt.Errorf("%s: case %s recorded no steals (workers=%d, gomaxprocs=%d) — the work-stealing executor is not moving matches",
+				file, c.Name, c.Workers, c.GoMaxProcs))
+		}
+		if minSpeedup > 0 {
+			if c.Cores < c.GoMaxProcs {
+				msg := fmt.Sprintf("case %s ran at GOMAXPROCS=%d on a %d-core host (effective cores %d): multi-core speedup is unmeasurable here, recorded %.2fx",
+					c.Name, c.GoMaxProcs, rep.Cores, c.Cores, c.Speedup)
+				if strict {
+					fatal(fmt.Errorf("%s: %s (-strict-multicore)", file, msg))
+				}
+				fmt.Printf("benchcheck: NOTICE: %s — speedup gate skipped\n", msg)
+			} else if c.Speedup < minSpeedup {
+				fatal(fmt.Errorf("%s: case %s speedup %.2fx < required %.2fx (%d effective cores, %d workers, %d ns/op)",
+					file, c.Name, c.Speedup, minSpeedup, c.Cores, c.Workers, c.NsPerOp))
+			} else {
+				fmt.Printf("benchcheck: %s multi-core speedup %.2fx >= %.2fx (%d effective cores, %d workers)\n",
+					c.Name, c.Speedup, minSpeedup, c.Cores, c.Workers)
+			}
+		}
+		if requireSteals {
+			fmt.Printf("benchcheck: %s steals %d (stolen matches %d)\n", c.Name, c.Steals, c.StolenMatches)
+		}
+		return
+	}
+	fatal(fmt.Errorf("%s: no case named %q (regenerate the report with whirlbench -bench-json -bench-gmp 1,4,8)", file, caseName))
 }
 
 func checkSpeedup(rep *report, file, caseName string, minSpeedup float64) {

@@ -14,6 +14,7 @@
 //	whirlbench -trace run.jsonl  # dump one run's engine events as JSONL
 //	whirlbench -shards 1,2,4,8   # sharded-execution scaling sweep
 //	whirlbench -bench-json BENCH_core.json   # pinned core benchmark → JSON
+//	whirlbench -bench-json BENCH_core.json -bench-gmp 1,4,8   # GOMAXPROCS sweep
 //	whirlbench -bench-json BENCH_core.json -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -47,6 +48,7 @@ func main() {
 		shards     = flag.String("shards", "", "comma-separated shard counts to sweep (e.g. 1,2,4,8) and exit")
 		benchJSON  = flag.String("bench-json", "", "run the pinned core benchmark, write the JSON report to FILE and exit")
 		benchFast  = flag.Bool("bench-short", false, "with -bench-json: smaller document and fewer rounds (CI short mode)")
+		benchGMP   = flag.String("bench-gmp", "1,4,8", "with -bench-json: comma-separated GOMAXPROCS sweep (must start at 1, the speedup baseline)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to FILE")
 		memprofile = flag.String("memprofile", "", "write an allocs/heap profile to FILE on exit")
 	)
@@ -82,7 +84,7 @@ func main() {
 		defer f.Close()
 	}
 
-	err := dispatch(cfg, *trace, *benchJSON, *benchFast, *shards, *fig, *tableNo, *ablations)
+	err := dispatch(cfg, *trace, *benchJSON, *benchFast, *benchGMP, *shards, *fig, *tableNo, *ablations)
 
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -98,12 +100,16 @@ func main() {
 }
 
 // dispatch runs the experiment the flags selected.
-func dispatch(cfg bench.Config, trace, benchJSON string, benchFast bool, shards string, fig, tableNo int, ablations bool) error {
+func dispatch(cfg bench.Config, trace, benchJSON string, benchFast bool, benchGMP, shards string, fig, tableNo int, ablations bool) error {
 	switch {
 	case trace != "":
 		return dumpTrace(os.Stdout, cfg, trace)
 	case benchJSON != "":
-		return bench.BenchCore(os.Stdout, benchJSON, benchFast)
+		gmps, err := parseCounts(benchGMP)
+		if err != nil {
+			return fmt.Errorf("-bench-gmp: %w", err)
+		}
+		return bench.BenchCore(os.Stdout, benchJSON, benchFast, gmps)
 	case shards != "":
 		counts, err := parseCounts(shards)
 		if err != nil {

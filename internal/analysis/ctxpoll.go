@@ -27,8 +27,10 @@ var CtxPoll = &Analyzer{
 
 // CtxPollScope limits the analyzer to the packages whose unbounded
 // loops process matches and queue pops. A package is in scope when its
-// import path contains one of these substrings.
-var CtxPollScope = []string{"internal/core", "cmd/whirlpoold", "testdata/src/ctxpoll"}
+// import path contains one of these substrings. internal/shard is in
+// scope for the worker pool's steal loop: a worker that stops polling
+// would keep stepping stolen matches long after the query died.
+var CtxPollScope = []string{"internal/core", "internal/shard", "cmd/whirlpoold", "testdata/src/ctxpoll"}
 
 func runCtxPoll(pass *Pass) error {
 	inScope := false

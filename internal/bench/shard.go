@@ -31,19 +31,20 @@ func ShardSweep(out io.Writer, cfg Config, counts []int) error {
 	w := Q2
 	fmt.Fprintf(out, "Shard sweep: %s over %d bytes, k=%d, %d cores\n",
 		w.XPath, env.Bytes, cfg.K, runtime.NumCPU())
-	tb := newTable(out, "shards", "wall", "speedup", "created", "pruned", "pruned-remote", "skew")
+	tb := newTable(out, "shards", "wall", "speedup", "created", "pruned", "pruned-remote", "steals", "skew")
 	var base time.Duration
 	for _, p := range counts {
-		m, err := measureShards(env, w, cfg, p, 3)
+		m, err := measureShards(env, w, cfg, p, 3, runtime.GOMAXPROCS(0), false)
 		if err != nil {
 			return err
 		}
 		if base == 0 {
 			base = m.wall
 		}
-		tb.addf("%d | %s | %.2fx | %d | %d | %d | %.2f",
+		tb.addf("%d | %s | %.2fx | %d | %d | %d | %d | %.2f",
 			p, ms(m.wall), float64(base)/float64(m.wall),
-			m.stats.MatchesCreated, m.stats.Pruned, m.stats.PrunedRemote, m.skew)
+			m.stats.MatchesCreated, m.stats.Pruned, m.stats.PrunedRemote,
+			m.stats.Steals, m.skew)
 	}
 	tb.flush()
 	return nil
@@ -52,10 +53,11 @@ func ShardSweep(out io.Writer, cfg Config, counts []int) error {
 // shardMeasure is one measured configuration: best-of-N wall clock plus
 // the counters and per-shard skew of one instrumented run.
 type shardMeasure struct {
-	wall  time.Duration
-	stats core.Stats
-	skew  float64 // slowest shard / mean shard duration (1.0 when unsharded)
-	depth int     // peak queue depth across all shards
+	wall    time.Duration
+	stats   core.Stats
+	skew    float64 // slowest shard / mean shard duration (1.0 when unsharded)
+	depth   int     // peak queue depth across all shards
+	workers int     // resolved worker-pool bound (1 when unsharded)
 
 	// Allocation profile of one steady-state run, plus the same run
 	// with the match arena disabled (core.Config.DisableReuse) — the
@@ -74,8 +76,13 @@ type benchRunner interface {
 
 // measureShards prepares the engine(s) for p shards (p ≤ 1 = the
 // unsharded baseline) and returns best-of-rounds wall clock plus one
-// instrumented run's counters.
-func measureShards(env *Env, w Workload, cfg Config, p int, rounds int) (*shardMeasure, error) {
+// instrumented run's counters. gmp is the GOMAXPROCS to measure under —
+// it is set for the duration of every run and restored before
+// returning, so a sweep can compare the same layout across scheduler
+// widths. allocs selects the (slow) allocation-profile measurement;
+// the multi-core sweep skips it, the profile is a property of the code
+// path, not of the scheduler width.
+func measureShards(env *Env, w Workload, cfg Config, p int, rounds, gmp int, allocs bool) (*shardMeasure, error) {
 	base := baseConfig(cfg, env, w, core.WhirlpoolS)
 	base.OpCost = cfg.OpCost
 	build := func(c core.Config) (benchRunner, error) {
@@ -88,11 +95,15 @@ func measureShards(env *Env, w Workload, cfg Config, p int, rounds int) (*shardM
 		}
 		return corpus.NewEngines(env.Query(w), c)
 	}
+	oldGMP := runtime.GOMAXPROCS(gmp)
+	defer runtime.GOMAXPROCS(oldGMP)
+
 	eng, err := build(base)
 	if err != nil {
 		return nil, err
 	}
-	m := &shardMeasure{}
+	m := &shardMeasure{workers: 1}
+	var steals, stolen int64
 	for i := 0; i < rounds+1; i++ {
 		start := time.Now()
 		res, err := eng.Run()
@@ -107,6 +118,16 @@ func measureShards(env *Env, w Workload, cfg Config, p int, rounds int) (*shardM
 			m.wall = wall
 		}
 		m.stats = res.Stats
+		steals += res.Stats.Steals
+		stolen += res.Stats.StolenMatches
+	}
+	// Steal activity is scheduler-timing dependent, so a single round can
+	// legitimately record zero; the case reports the sum over all
+	// measured rounds to make "did stealing happen at all" a stable
+	// signal.
+	m.stats.Steals, m.stats.StolenMatches = steals, stolen
+	if engs, ok := eng.(*shard.Engines); ok {
+		m.workers, _ = engs.LastRunWorkers()
 	}
 	// One instrumented run on a separate engine: the depth sink adds
 	// hot-path work, so it must not pollute the timed runs.
@@ -122,6 +143,9 @@ func measureShards(env *Env, w Workload, cfg Config, p int, rounds int) (*shardM
 	}
 	m.depth = sink.peakDepth()
 	m.skew = sink.skew()
+	if !allocs {
+		return m, nil
+	}
 	if m.allocsPerOp, m.bytesPerOp, err = measureAllocs(build, base); err != nil {
 		return nil, err
 	}
@@ -215,10 +239,24 @@ func (d *depthSink) skew() float64 {
 
 // benchCase is one measured configuration in BENCH_core.json.
 type benchCase struct {
-	Name           string  `json:"name"`
-	Shards         int     `json:"shards"`
-	NsPerOp        int64   `json:"ns_per_op"`
-	Speedup        float64 `json:"speedup"`
+	Name    string `json:"name"`
+	Shards  int    `json:"shards"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// Speedup is against the single-engine, GOMAXPROCS=1 baseline — the
+	// honest one-core denominator, not whatever width the first case
+	// happened to run at.
+	Speedup float64 `json:"speedup"`
+	// GoMaxProcs is the scheduler width the case ran at; Cores is the
+	// effective core count min(GOMAXPROCS, NumCPU) — the parallelism the
+	// host could actually deliver. A gate that demands multi-core
+	// speedup must check Cores, not GoMaxProcs: on a one-core host a
+	// gmp=8 case still runs serially.
+	GoMaxProcs int `json:"gomaxprocs"`
+	Cores      int `json:"cores"`
+	// Workers is the resolved pool bound min(GOMAXPROCS, shards).
+	Workers        int     `json:"workers"`
+	Steals         int64   `json:"steals"`
+	StolenMatches  int64   `json:"stolen_matches"`
 	MatchesCreated int64   `json:"matches_created"`
 	Pruned         int64   `json:"pruned"`
 	PrunedRemote   int64   `json:"pruned_remote"`
@@ -226,7 +264,9 @@ type benchCase struct {
 	ShardSkew      float64 `json:"shard_skew"`
 	// Allocation profile of one steady-state run, with the match arena
 	// enabled (the shipping configuration) and disabled (the baseline
-	// the benchcheck allocation gate compares against).
+	// the benchcheck allocation gate compares against). Measured for the
+	// GOMAXPROCS=1 cases only (zero elsewhere): the profile is a
+	// property of the code path, not of the scheduler width.
 	AllocsPerOp         int64 `json:"allocs_per_op"`
 	BytesPerOp          int64 `json:"bytes_per_op"`
 	BaselineAllocsPerOp int64 `json:"baseline_allocs_per_op"`
@@ -235,8 +275,9 @@ type benchCase struct {
 
 // benchReport is the BENCH_core.json schema: one pinned workload
 // (seed 1, Q2, k=15, all relaxations, Whirlpool-S, zero synthetic op
-// cost) measured unsharded and sharded. Absolute ns/op and speedup
-// depend on the host — cores records how many were available.
+// cost) measured unsharded and sharded, across a GOMAXPROCS sweep.
+// Absolute ns/op and speedup depend on the host — cores records how
+// many it physically had; each case records the width it ran at.
 type benchReport struct {
 	Query     string      `json:"query"`
 	Seed      int64       `json:"seed"`
@@ -249,15 +290,23 @@ type benchReport struct {
 	Cases     []benchCase `json:"cases"`
 }
 
-// BenchCore runs the pinned core benchmark and writes the JSON report to
-// path (see benchReport). short shrinks the document and rounds for CI's
-// short mode; the schema is identical.
-func BenchCore(out io.Writer, path string, short bool) error {
+// BenchCore runs the pinned core benchmark and writes the JSON report
+// to path (see benchReport). short shrinks the document and rounds for
+// CI's short mode; the schema is identical. gmps is the GOMAXPROCS
+// sweep (nil defaults to {1, 4, 8}): gmp=1 measures the full shard set
+// {1, 2, 4, 8} plus the allocation profile and keeps the historical
+// case names ("single", "shards-N"); wider gmps re-measure the sharded
+// layouts as "shards-N/gmp-M" so the report shows how the same layout
+// scales with scheduler width.
+func BenchCore(out io.Writer, path string, short bool, gmps []int) error {
 	cfg := Config{Seed: 1, K: 15, OpCost: -1}.withDefaults()
 	cfg.OpCost = 0
 	target, rounds := 8<<20, 5
 	if short {
 		target, rounds = 2<<20, 3
+	}
+	if len(gmps) == 0 {
+		gmps = []int{1, 4, 8}
 	}
 	env, err := NewEnv(cfg.Seed, target, cfg.Norm)
 	if err != nil {
@@ -275,23 +324,21 @@ func BenchCore(out io.Writer, path string, short bool) error {
 		GoVersion: runtime.Version(),
 	}
 	var base time.Duration
-	for _, p := range []int{1, 2, 4, 8} {
-		m, err := measureShards(env, w, cfg, p, rounds)
-		if err != nil {
-			return err
-		}
-		if p == 1 {
-			base = m.wall
-		}
-		name := "single"
-		if p > 1 {
-			name = fmt.Sprintf("shards-%d", p)
+	addCase := func(name string, p, gmp int, m *shardMeasure) {
+		cores := gmp
+		if n := runtime.NumCPU(); cores > n {
+			cores = n
 		}
 		rep.Cases = append(rep.Cases, benchCase{
 			Name:                name,
 			Shards:              p,
 			NsPerOp:             m.wall.Nanoseconds(),
 			Speedup:             float64(base) / float64(m.wall),
+			GoMaxProcs:          gmp,
+			Cores:               cores,
+			Workers:             m.workers,
+			Steals:              m.stats.Steals,
+			StolenMatches:       m.stats.StolenMatches,
 			MatchesCreated:      m.stats.MatchesCreated,
 			Pruned:              m.stats.Pruned,
 			PrunedRemote:        m.stats.PrunedRemote,
@@ -302,10 +349,42 @@ func BenchCore(out io.Writer, path string, short bool) error {
 			BaselineAllocsPerOp: m.baseAllocsOp,
 			BaselineBytesPerOp:  m.baseBytesOp,
 		})
-		fmt.Fprintf(out, "bench: %-8s %12d ns/op  %.2fx  created=%d pruned=%d remote=%d depth=%d allocs=%d/%d\n",
+		fmt.Fprintf(out, "bench: %-16s %12d ns/op  %.2fx  gmp=%d cores=%d workers=%d steals=%d created=%d pruned=%d remote=%d depth=%d allocs=%d/%d\n",
 			name, m.wall.Nanoseconds(), float64(base)/float64(m.wall),
+			gmp, cores, m.workers, m.stats.Steals,
 			m.stats.MatchesCreated, m.stats.Pruned, m.stats.PrunedRemote, m.depth,
 			m.allocsPerOp, m.baseAllocsOp)
+	}
+	for _, gmp := range gmps {
+		if gmp == 1 {
+			// The serial baseline sweep: full shard set, historical names,
+			// allocation profile.
+			for _, p := range []int{1, 2, 4, 8} {
+				m, err := measureShards(env, w, cfg, p, rounds, 1, true)
+				if err != nil {
+					return err
+				}
+				if p == 1 {
+					base = m.wall
+				}
+				name := "single"
+				if p > 1 {
+					name = fmt.Sprintf("shards-%d", p)
+				}
+				addCase(name, p, 1, m)
+			}
+			continue
+		}
+		for _, p := range []int{2, 4, 8} {
+			m, err := measureShards(env, w, cfg, p, rounds, gmp, false)
+			if err != nil {
+				return err
+			}
+			if base == 0 {
+				return fmt.Errorf("bench: gmp sweep %v lacks the leading gmp=1 baseline", gmps)
+			}
+			addCase(fmt.Sprintf("shards-%d/gmp-%d", p, gmp), p, gmp, m)
+		}
 	}
 	f, err := os.Create(path)
 	if err != nil {

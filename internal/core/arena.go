@@ -20,6 +20,13 @@ const arenaChunk = 256
 // of silently reading stale-but-plausible data.
 var arenaPoison atomic.Bool
 
+// SetArenaPoisonForTest toggles poison-on-release globally. It exists
+// for cross-package property tests (internal/shard's work-stealing
+// equivalence suite) that need use-after-release bugs across shard
+// freelists to surface as corrupted answers; production code must
+// never call it.
+func SetArenaPoisonForTest(v bool) { arenaPoison.Store(v) }
+
 // matchArena recycles the run's dead matches — pruned, completed, or
 // consumed by a server operation — instead of dropping them for the GC.
 // Section 5.2.1's server operation spawns one match per extension; on a

@@ -201,6 +201,13 @@ type Stats struct {
 	// evaluation found a better answer first. Always 0 for standalone
 	// runs.
 	PrunedRemote int64
+	// Steals counts work-stealing grabs: batches of queued matches
+	// taken by a pool worker other than the owning shard's primary
+	// worker (sharded executor only; always 0 for standalone runs).
+	Steals int64
+	// StolenMatches counts the partial matches processed via those
+	// grabs.
+	StolenMatches int64
 	// Duration is the wall-clock query execution time.
 	Duration time.Duration
 }

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stealQueue is the concurrent router queue of a ParallelRun: the same
+// max-heap ordering as the single-threaded pq, behind a mutex, with a
+// batch dequeue so a stealing worker amortizes one lock acquisition
+// over a whole grab of matches. It is a sanctioned match holder — a
+// queued match is owned by the queue until popped.
+// +whirllint:matchowner
+type stealQueue struct {
+	mu sync.Mutex
+	h  matchHeap
+}
+
+// +whirllint:hotpath
+func (q *stealQueue) push(m *match, priority float64) {
+	q.mu.Lock()
+	q.h.push(prioritized{m: m, priority: priority})
+	q.mu.Unlock()
+}
+
+// popBatch appends up to max matches — best priority first — to dst and
+// returns the extended slice. One lock acquisition covers the whole
+// batch: this is the steal-safe dequeue the sharded executor's work
+// stealing is built on. Ownership of every returned match transfers to
+// the caller.
+// +whirllint:hotpath
+func (q *stealQueue) popBatch(dst []*match, max int) []*match {
+	q.mu.Lock()
+	for len(dst) < max && len(q.h) > 0 {
+		dst = append(dst, q.h.pop().m)
+	}
+	q.mu.Unlock()
+	return dst
+}
+
+// len samples the queue's depth — the steal policy's load signal. Stale
+// the moment the lock is released, which is fine for a heuristic.
+func (q *stealQueue) len() int {
+	q.mu.Lock()
+	n := len(q.h)
+	q.mu.Unlock()
+	return n
+}
+
+// Scratch is one worker goroutine's reusable buffers for driving
+// ParallelRun.Step: the per-server probe scratch plus the batch and
+// survivor slices of the step loop. A Scratch must not be shared
+// between goroutines; matches held in its slices are owned by the
+// stepping worker until released or re-queued.
+// +whirllint:matchowner
+type Scratch struct {
+	sc    scratch
+	batch []*match
+	surv  []*match
+}
+
+// NewScratch returns an empty Scratch. Each pool worker allocates one
+// up front; the steady-state step loop then allocates nothing.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ParallelRun is one engine evaluation opened up for external,
+// multi-goroutine scheduling: instead of looping to completion inside
+// RunShared, the run exposes its router queue so any number of workers
+// can pop batches of alive partial matches and process them through the
+// engine's servers concurrently — the primitive behind the sharded
+// executor's match-level work stealing (internal/shard). Only
+// Whirlpool-S runs can be parallelized this way; the other algorithms
+// own their control flow.
+//
+// Protocol: NewParallelRun → Seed (exactly once) → any number of
+// concurrent Step calls (each worker with its own Scratch) until IsDone
+// or the context is cancelled → Finish (exactly once, after the last
+// Step returned).
+//
+// The run's arena uses the sharded, locked freelists (as Whirlpool-M
+// does), so a match carved by one worker and released by another —
+// exactly what a steal produces — returns to its home freelist shard
+// without racing. Answer equivalence is unaffected by which worker
+// processes a match: offers and prunes go through the same shared
+// top-k set, whose threshold is a lower bound on the true k-th score
+// at all times (see DESIGN.md, sharded execution).
+type ParallelRun struct {
+	r *run
+	q stealQueue
+	// live counts matches alive anywhere: queued or held by a stepping
+	// worker. Children are counted in before their parent is counted
+	// out, so it can never dip to zero mid-flight. When it reaches zero
+	// after seeding, the run is done.
+	live     atomic.Int64
+	doneFlag atomic.Bool
+	doneAtNS atomic.Int64
+	start    time.Time
+}
+
+// NewParallelRun prepares a steal-capable run of the engine against
+// shared, attributed to shardID. The context governs cancellation of
+// every subsequent Seed/Step; Finish reports its error if it fires.
+func (e *Engine) NewParallelRun(ctx context.Context, shared *SharedTopK, shardID int) (*ParallelRun, error) {
+	if e.cfg.Algorithm != WhirlpoolS {
+		return nil, fmt.Errorf("core: parallel runs require Whirlpool-S, got %v", e.cfg.Algorithm)
+	}
+	if shared.set.k != e.cfg.K {
+		return nil, fmt.Errorf("core: shared top-k capacity %d != Config.K %d", shared.set.k, e.cfg.K)
+	}
+	r := &run{
+		Engine: e,
+		topk:   shared.set,
+		// Concurrent workers get and release matches from any goroutine,
+		// so the arena always uses the locked, sharded freelists here.
+		arena:   newMatchArena(e.query.Size(), true, e.cfg.DisableReuse),
+		shardID: int32(shardID),
+		sharded: true,
+		ctx:     ctx,
+	}
+	r.lastThreshold.Store(math.Float64bits(math.Inf(-1)))
+	return &ParallelRun{r: r}, nil
+}
+
+// Seed evaluates the root server and enqueues the surviving initial
+// matches. It must be called exactly once, before any Step; a run that
+// seeds zero survivors is immediately done. The live count is published
+// before the first push so a concurrent thief draining the queue early
+// cannot observe a transient zero and mark the run done prematurely.
+func (p *ParallelRun) Seed() {
+	r := p.r
+	p.start = time.Now()
+	if t := r.cfg.Trace; t != nil {
+		t.RunStart(obs.RunInfo{
+			Algorithm:  r.cfg.Algorithm.String(),
+			Routing:    r.cfg.Routing.String(),
+			Queue:      r.cfg.Queue.String(),
+			K:          r.cfg.K,
+			QueryNodes: r.query.Size(),
+		})
+	}
+	alive := r.filterAlive(r.initialMatches())
+	if len(alive) == 0 {
+		p.markDone()
+		return
+	}
+	p.live.Store(int64(len(alive)))
+	for _, m := range alive {
+		p.q.push(m, r.priority(m, -1))
+	}
+}
+
+// Step pops a batch of up to budget matches from the run's queue and
+// processes each through its next server, offering into the shared
+// top-k set and re-queueing surviving extensions. It returns how many
+// matches it consumed; 0 means the queue was momentarily empty (the
+// run is done only once IsDone reports true — other workers may still
+// be about to re-queue survivors). Safe for concurrent use, one
+// Scratch per worker. Cancellation is polled on every match, so a
+// cancelled run stops within one batch; the unprocessed remainder is
+// released back to the arena with the live count kept exact.
+// +whirllint:hotpath
+func (p *ParallelRun) Step(ws *Scratch, budget int) int {
+	r := p.r
+	if budget < 1 {
+		budget = 1
+	}
+	batch := p.q.popBatch(ws.batch[:0], budget)
+	ws.batch = batch
+	processed := 0
+	for i, m := range batch {
+		if r.cancelled() {
+			for _, rest := range batch[i:] {
+				r.release(rest)
+			}
+			p.liveAdd(int64(i - len(batch)))
+			return processed
+		}
+		processed++
+		// currentTopK may have grown since the match was queued.
+		if r.prunable(m) {
+			r.prune()
+			r.release(m)
+			p.liveAdd(-1)
+			continue
+		}
+		sid := r.nextServer(m)
+		r.traceRoute(m, sid)
+		if r.cfg.Trace != nil {
+			r.traceDepth(-1, p.q.len())
+		}
+		surv := ws.surv[:0]
+		for _, ext := range r.process(m, sid, &ws.sc) {
+			if r.checkTopK(ext) {
+				surv = append(surv, ext)
+			} else {
+				r.release(ext)
+			}
+		}
+		ws.surv = surv
+		// Extensions copied everything they need out of the parent;
+		// recycle it before handing the survivors on.
+		r.release(m)
+		if len(surv) > 0 {
+			// Children in before the parent out: live can't hit zero
+			// while this match's offspring are mid-flight.
+			p.live.Add(int64(len(surv)))
+			for _, s := range surv {
+				p.q.push(s, r.priority(s, -1))
+			}
+		}
+		p.liveAdd(-1)
+	}
+	return processed
+}
+
+// liveAdd adjusts the live-match count and marks the run done when it
+// reaches zero.
+// +whirllint:hotpath
+func (p *ParallelRun) liveAdd(d int64) {
+	if p.live.Add(d) == 0 {
+		p.markDone()
+	}
+}
+
+// markDone records the run's completion exactly once.
+func (p *ParallelRun) markDone() {
+	if p.doneFlag.CompareAndSwap(false, true) {
+		p.doneAtNS.Store(time.Since(p.start).Nanoseconds())
+	}
+}
+
+// IsDone reports whether every match of the run has been consumed —
+// completed, pruned, or dead — so no Step can ever find work again.
+func (p *ParallelRun) IsDone() bool { return p.doneFlag.Load() }
+
+// Depth samples the router queue's depth: the work-stealing load
+// signal.
+func (p *ParallelRun) Depth() int { return p.q.len() }
+
+// Live returns the current live-match count (queued plus in-flight).
+func (p *ParallelRun) Live() int64 { return p.live.Load() }
+
+// Created returns how many matches the run has created so far — the
+// per-shard feedback signal the steal policy breaks depth ties with.
+func (p *ParallelRun) Created() int64 { return p.r.stats.matchesCreated.Load() }
+
+// Finish closes the run out after every worker has stopped stepping:
+// it snapshots the stats (Duration is seed-to-done wall clock), folds
+// them into the engine's cumulative totals, and emits the RunEnd trace
+// event. When the run's context was cancelled, the partial work is
+// discarded and the context's error returned, mirroring RunContext.
+// Call it exactly once.
+func (p *ParallelRun) Finish() (Stats, error) {
+	r := p.r
+	stats := r.stats.snapshot()
+	switch {
+	case p.start.IsZero():
+		// Never seeded (cancelled before any work).
+	case p.IsDone():
+		stats.Duration = time.Duration(p.doneAtNS.Load())
+	default:
+		stats.Duration = time.Since(p.start)
+	}
+	if err := r.ctx.Err(); err != nil {
+		r.Engine.totals.aborted.Add(1)
+		if t := r.cfg.Trace; t != nil {
+			t.RunEnd(runSummary(stats, 0, true))
+		}
+		return Stats{}, err
+	}
+	r.Engine.totals.add(stats)
+	if t := r.cfg.Trace; t != nil {
+		t.RunEnd(runSummary(stats, len(r.topk.answers()), false))
+	}
+	return stats, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -126,6 +127,79 @@ func TestShardedTopKEquivalenceRandomDocs(t *testing.T) {
 					t.Fatal(err)
 				}
 				compareResults(t, fmt.Sprintf("doc%d/%s/p=%d", i, xpath, p), base, res)
+			}
+		}
+	}
+}
+
+// TestShardedStealingEquivalence is the work-stealing safety property:
+// the pooled Whirlpool-S executor must return the same answers as the
+// single-engine baseline across shard counts {1, 2, 8} × GOMAXPROCS
+// {1, 4, 8} (which sizes the default worker pool) × stealing {on, off}.
+// Arena poison is on for the whole matrix, so a match touched after its
+// ownership moved across workers — or released to the wrong shard
+// freelist and recycled — surfaces as NaN scores or nil bindings, not
+// as silently stale data. Run under -race this doubles as the memory-
+// model check for the cross-worker queue handoff.
+func TestShardedStealingEquivalence(t *testing.T) {
+	core.SetArenaPoisonForTest(true)
+	defer core.SetArenaPoisonForTest(false)
+	oldGMP := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(oldGMP)
+
+	doc := xmarkDoc(t, 50)
+	whole := index.Build(doc)
+	queries := []string{
+		"//item[./description/parlist]",
+		"//item[./mailbox/mail/text[./bold and ./keyword] and ./name and ./incategory]",
+	}
+	counts := []int{1, 2, 8}
+	corpora := make(map[int]*shard.Corpus)
+	for _, p := range counts {
+		c, err := shard.Split(doc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpora[p] = c
+	}
+
+	for _, xpath := range queries {
+		q := pattern.MustParse(xpath)
+		scorer := score.NewTFIDF(whole, q, score.Sparse)
+		for _, k := range []int{10, 4096} {
+			cfg := core.Config{K: k, Relax: relax.All, Algorithm: core.WhirlpoolS, Scorer: scorer}
+			baseEng, err := core.New(whole, q, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := baseEng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range counts {
+				for _, gmp := range []int{1, 4, 8} {
+					for _, stealing := range []bool{true, false} {
+						name := fmt.Sprintf("%s/k=%d/p=%d/gmp=%d/steal=%v", xpath, k, p, gmp, stealing)
+						engs, err := corpora[p].NewEngines(q, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						engs.SetExecOptions(shard.ExecOptions{DisableStealing: !stealing, StealBatch: 4})
+						runtime.GOMAXPROCS(gmp)
+						res, err := engs.Run()
+						runtime.GOMAXPROCS(oldGMP)
+						if err != nil {
+							t.Fatal(err)
+						}
+						compareResults(t, name, base, res)
+						if bound, peak := engs.LastRunWorkers(); bound > gmp || peak > bound {
+							t.Fatalf("%s: workers bound=%d peak=%d exceed gmp=%d", name, bound, peak, gmp)
+						}
+						if !stealing && res.Stats.StolenMatches != 0 {
+							t.Fatalf("%s: %d matches stolen with stealing disabled", name, res.Stats.StolenMatches)
+						}
+					}
+				}
 			}
 		}
 	}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -23,6 +23,11 @@ type Engines struct {
 	cfg    core.Config
 	engs   []runner
 	reg    *obs.Registry
+	opts   ExecOptions
+
+	// Most recent run's pool geometry, for LastRunWorkers.
+	lastWorkers atomic.Int64
+	lastPeak    atomic.Int64
 }
 
 // runner pairs an engine with its shard id (the index of its sub-source
@@ -75,51 +80,64 @@ func (e *Engines) Corpus() *Corpus { return e.corpus }
 // merged result.
 func (e *Engines) Run() (*core.Result, error) { return e.RunContext(context.Background()) }
 
-// RunContext runs every shard engine concurrently against one fresh
-// SharedTopK, so each shard's guaranteed scores immediately tighten the
-// pruning threshold of all others, then merges: answers come from the
-// shared set (already deterministic — score descending, document order
-// ascending), stats are summed, Duration is the sharded wall clock. The
-// first engine error cancels the remaining shards.
+// RunContext evaluates every shard against one fresh SharedTopK, so
+// each shard's guaranteed scores immediately tighten the pruning
+// threshold of all others, then merges: answers come from the shared
+// set (already deterministic — score descending, document order
+// ascending), stats are summed, Duration is the sharded wall clock.
+//
+// Concurrency is bounded at min(GOMAXPROCS, shards) worker goroutines
+// (override with ExecOptions.Workers) instead of one unconditional
+// goroutine per shard. Whirlpool-S shards additionally share their
+// router queues with the pool: an idle worker steals batches of alive
+// partial matches from the most loaded shard's queue and runs them
+// through that shard's servers, so a skewed layout no longer leaves
+// cores idle behind one hot shard (see internal/shard/pool.go and
+// DESIGN.md, work stealing). The other algorithms run one shard per
+// worker with no stealing; the first engine error cancels the rest.
 func (e *Engines) RunContext(ctx context.Context) (*core.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	shared := core.NewSharedTopK(e.cfg.K, e.cfg.Threshold)
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	stats := make([]core.Stats, len(e.engs))
-	errs := make([]error, len(e.engs))
 	start := time.Now()
-	var wg sync.WaitGroup
-	for i, rn := range e.engs {
-		wg.Add(1)
-		go func(i int, rn runner) {
-			defer wg.Done()
-			stats[i], errs[i] = rn.eng.RunShared(runCtx, shared, rn.shard)
-			if errs[i] != nil {
-				cancel()
-			}
-		}(i, rn)
-	}
-	wg.Wait()
 
-	if err := firstError(ctx, errs); err != nil {
-		return nil, err
+	var stats []core.Stats
+	var st *poolState
+	if e.cfg.Algorithm == core.WhirlpoolS {
+		var err error
+		stats, st, err = e.runPooled(ctx, shared)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var errs []error
+		var err error
+		stats, errs, err = e.runBounded(ctx, shared)
+		if err != nil {
+			return nil, err
+		}
+		if err := firstError(ctx, errs); err != nil {
+			return nil, err
+		}
 	}
+
 	mergeStart := time.Now()
 	res := &core.Result{Answers: shared.Answers()}
 	mergeDur := time.Since(mergeStart)
-	for _, st := range stats {
-		res.Stats.ServerOps += st.ServerOps
-		res.Stats.JoinComparisons += st.JoinComparisons
-		res.Stats.MatchesCreated += st.MatchesCreated
-		res.Stats.Pruned += st.Pruned
-		res.Stats.PrunedRemote += st.PrunedRemote
+	for _, s := range stats {
+		res.Stats.ServerOps += s.ServerOps
+		res.Stats.JoinComparisons += s.JoinComparisons
+		res.Stats.MatchesCreated += s.MatchesCreated
+		res.Stats.Pruned += s.Pruned
+		res.Stats.PrunedRemote += s.PrunedRemote
+	}
+	if st != nil {
+		res.Stats.Steals = st.steals.Load()
+		res.Stats.StolenMatches = st.stolen.Load()
 	}
 	res.Stats.Duration = time.Since(start)
-	e.observe(stats, mergeDur)
+	e.observe(stats, st, mergeDur)
 	return res, nil
 }
 
@@ -144,8 +162,10 @@ func firstError(ctx context.Context, errs []error) error {
 }
 
 // observe records one run's per-shard metrics and emits per-shard
-// summaries to a configured ShardSink.
-func (e *Engines) observe(stats []core.Stats, mergeDur time.Duration) {
+// summaries to a configured ShardSink. pool is the pooled run's state
+// (nil for the bounded non-stealing path); it supplies the per-shard
+// stolen-match attribution and the run's steal totals.
+func (e *Engines) observe(stats []core.Stats, pool *poolState, mergeDur time.Duration) {
 	sink, _ := e.cfg.Trace.(obs.ShardSink)
 	var maxDur, sumDur time.Duration
 	for i, rn := range e.engs {
@@ -154,6 +174,10 @@ func (e *Engines) observe(stats []core.Stats, mergeDur time.Duration) {
 			maxDur = st.Duration
 		}
 		sumDur += st.Duration
+		var stolenFrom int64
+		if pool != nil {
+			stolenFrom = pool.stolenFrom[i].Load()
+		}
 		if sink != nil {
 			sink.ShardRun(rn.shard, obs.RunSummary{
 				ServerOps:       st.ServerOps,
@@ -161,6 +185,7 @@ func (e *Engines) observe(stats []core.Stats, mergeDur time.Duration) {
 				MatchesCreated:  st.MatchesCreated,
 				Pruned:          st.Pruned,
 				PrunedRemote:    st.PrunedRemote,
+				StolenMatches:   stolenFrom,
 				DurationUS:      st.Duration.Microseconds(),
 			})
 		}
@@ -172,14 +197,24 @@ func (e *Engines) observe(stats []core.Stats, mergeDur time.Duration) {
 		e.reg.Counter("whirlpool_shard_matches_created_total", "shard", shard).Add(st.MatchesCreated)
 		e.reg.Counter("whirlpool_shard_matches_pruned_total", "shard", shard).Add(st.Pruned)
 		e.reg.Counter("whirlpool_shard_pruned_remote_total", "shard", shard).Add(st.PrunedRemote)
+		e.reg.Counter("whirlpool_shard_stolen_matches_total", "shard", shard).Add(stolenFrom)
 		e.reg.Histogram("whirlpool_shard_run_duration_us", "shard", shard).Observe(st.Duration.Microseconds())
 	}
 	if e.reg == nil {
 		return
 	}
+	if pool != nil {
+		e.reg.Counter("whirlpool_shard_steal_batches_total").Add(pool.steals.Load())
+		e.reg.Counter("whirlpool_shard_steals_total").Add(pool.stolen.Load())
+		e.reg.Gauge("whirlpool_shard_workers").Set(int64(pool.workers))
+		e.reg.Gauge("whirlpool_shard_workers_peak").Set(pool.peak.Load())
+	}
 	e.reg.Histogram("whirlpool_shard_merge_duration_us").Observe(mergeDur.Microseconds())
 	if n := len(e.engs); n > 0 && sumDur > 0 {
 		// Skew: slowest shard over mean shard duration, in permille.
+		// Under the pooled executor a shard's duration is seed-to-done
+		// wall clock, so this measures completion-time spread — stealing
+		// narrows it even when per-shard work stays skewed.
 		mean := sumDur / time.Duration(n)
 		e.reg.Gauge("whirlpool_shard_skew_permille").Set(int64(maxDur * 1000 / mean))
 	}
