@@ -33,19 +33,22 @@ race:
 	$(GO) test -race ./...
 
 # Pinned core benchmark (XMark seed 1, Q2, k=15, Whirlpool-S) measured
-# unsharded and at 2/4/8 shards across a GOMAXPROCS sweep (1/4/8);
+# unsharded and at 2/4/8 shards across a GOMAXPROCS sweep (1/4/8),
+# plus the planning-path sweep (cold / synopsis / cached plans);
 # writes BENCH_core.json for comparison against the committed baseline.
 bench:
 	$(GO) run ./cmd/whirlbench -bench-json BENCH_core.json
 
 # Gate the freshly written report the way CI does: sharded speedup,
 # hot-path allocation budget (≤ 20% of the reuse-disabled baseline),
-# and the multi-core case (≥ 6x at 8 shards / 8 cores where the host
-# has them, work stealing observed regardless).
+# the multi-core case (≥ 6x at 8 shards / 8 cores where the host has
+# them, work stealing observed regardless), and cached planning (a
+# plan-cache hit ≥ 2x cheaper than planning from scratch).
 bench-check:
 	$(GO) run ./cmd/benchcheck -file BENCH_core.json -case shards-8 -min-speedup 2
 	$(GO) run ./cmd/benchcheck -file BENCH_core.json -min-speedup 0 -alloc-case single -max-alloc-ratio 0.2
 	$(GO) run ./cmd/benchcheck -file BENCH_core.json -min-speedup 0 -multicore-case shards-8/gmp-8 -min-multicore-speedup 6 -require-steals
+	$(GO) run ./cmd/benchcheck -file BENCH_core.json -min-speedup 0 -min-hot-speedup 2
 
 # Pinned core benchmark with CPU and allocation profiles; inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof -sample_index=alloc_objects mem.pprof`.

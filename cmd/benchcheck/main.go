@@ -6,6 +6,14 @@
 //	benchcheck -file BENCH_core.json -case shards-8 -min-speedup 2
 //	benchcheck -file BENCH_core.json -alloc-case single -max-alloc-ratio 0.2
 //	benchcheck -file BENCH_core.json -multicore-case shards-8/gmp-8 -min-multicore-speedup 6 -require-steals
+//	benchcheck -file BENCH_core.json -min-hot-speedup 2
+//
+// The cached-planning gate divides the cold planning case's ns/op
+// (scorer and routing statistics computed from index scans, plan built
+// from scratch) by the hot case's (plan served from the planner cache):
+// a floor of 2 demands a cache hit cost at most half a cold plan. Both
+// cases are written by whirlbench -bench-json with -bench-hot (the
+// default).
 //
 // The allocation gate divides the pinned case's allocs/op (arena
 // enabled) by its in-report baseline (the same run with reuse
@@ -23,8 +31,8 @@
 // goroutine interleaving, which single-core hosts exhibit too.
 //
 // benchcheck exits non-zero with a diagnostic when a named case is
-// missing or a gate fails. Passing -max-alloc-ratio 0, -min-speedup 0
-// or -min-multicore-speedup 0 skips that gate.
+// missing or a gate fails. Passing -max-alloc-ratio 0, -min-speedup 0,
+// -min-multicore-speedup 0 or -min-hot-speedup 0 skips that gate.
 package main
 
 import (
@@ -64,6 +72,9 @@ func main() {
 		minMCSpeedup  = flag.Float64("min-multicore-speedup", 0, "required multi-core speedup over the single-engine gmp=1 baseline (0 skips the gate)")
 		requireSteals = flag.Bool("require-steals", false, "with the multi-core gate: fail unless the case recorded work-stealing activity")
 		strictMC      = flag.Bool("strict-multicore", false, "fail (instead of skipping the speedup check) when the host has fewer cores than the case's GOMAXPROCS")
+		hotCase       = flag.String("hot-case", "plan-hot", "case name for the cached-planning gate")
+		coldCase      = flag.String("cold-case", "plan-cold", "baseline case name for the cached-planning gate")
+		minHotSpeedup = flag.Float64("min-hot-speedup", 0, "required cached-vs-cold planning speedup (0 skips the gate)")
 	)
 	flag.Parse()
 
@@ -84,6 +95,39 @@ func main() {
 	if *minMCSpeedup > 0 || *requireSteals {
 		checkMulticore(&rep, *file, *mcCase, *minMCSpeedup, *requireSteals, *strictMC)
 	}
+	if *minHotSpeedup > 0 {
+		checkPlanning(&rep, *file, *hotCase, *coldCase, *minHotSpeedup)
+	}
+}
+
+// checkPlanning gates the planner cache: a hit must beat compiling a
+// plan from scratch by the required factor. Both cases measure the
+// same work (plan resolution plus engine construction, no evaluation)
+// on the same document, so their ns/op ratio is a pure cache win.
+func checkPlanning(rep *report, file, hotName, coldName string, minSpeedup float64) {
+	find := func(name string) *benchCase {
+		for i := range rep.Cases {
+			if rep.Cases[i].Name == name {
+				return &rep.Cases[i]
+			}
+		}
+		return nil
+	}
+	hot, cold := find(hotName), find(coldName)
+	if hot == nil || cold == nil {
+		fatal(fmt.Errorf("%s: missing case %q or %q (regenerate the report with whirlbench -bench-json; the planning cases need -bench-hot)",
+			file, hotName, coldName))
+	}
+	if hot.NsPerOp <= 0 || cold.NsPerOp <= 0 {
+		fatal(fmt.Errorf("%s: cases %q/%q carry no ns/op", file, hotName, coldName))
+	}
+	speedup := float64(cold.NsPerOp) / float64(hot.NsPerOp)
+	if speedup < minSpeedup {
+		fatal(fmt.Errorf("%s: cached planning %.2fx over cold < required %.2fx (%s %d ns/op vs %s %d ns/op) — the plan cache is not paying for itself",
+			file, speedup, minSpeedup, hotName, hot.NsPerOp, coldName, cold.NsPerOp))
+	}
+	fmt.Printf("benchcheck: cached planning %.1fx over cold >= %.1fx (%s %d ns/op, %s %d ns/op)\n",
+		speedup, minSpeedup, hotName, hot.NsPerOp, coldName, cold.NsPerOp)
 }
 
 // checkMulticore gates a GOMAXPROCS-swept case: speedup when the host

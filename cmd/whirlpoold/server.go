@@ -40,6 +40,10 @@ type server struct {
 
 	engines *lru.Cache[string, *engineEntry]
 	kwIdx   *lru.Cache[string, *whirlpool.KeywordIndex]
+	// planner compiles and caches query plans keyed on the canonical
+	// query shape; engine cache keys derive from plan keys, so textual
+	// variants of one query share both the plan and the engine.
+	planner *whirlpool.Planner
 
 	// buildHook, when non-nil, runs inside every engine / keyword-index
 	// construction, outside all server locks. Test seam: the contention
@@ -125,7 +129,14 @@ func newServer(db *whirlpool.Database, opts serverOptions) (*server, error) {
 		}
 		sdb.ObserveInto(s.reg)
 		s.sdb = sdb
+		s.planner = sdb.NewPlanner(opts.CacheSize)
+	} else {
+		s.planner = db.NewPlanner(opts.CacheSize)
 	}
+	// Pre-register the plan-cache metrics so /metrics carries them (at
+	// zero) from boot, not from the first hit or miss.
+	s.reg.Counter("whirlpoold_plan_cache_hits_total")
+	s.reg.Counter("whirlpoold_plan_cache_misses_total")
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -246,6 +257,7 @@ type shardStats struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	planStats := s.planner.Stats()
 	engines := make([]engineStats, 0, s.engines.Len())
 	for _, it := range s.engines.Items() {
 		tot := it.Value.totals()
@@ -282,6 +294,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache": map[string]any{
 			"engines": map[string]int{"len": s.engines.Len(), "cap": s.engines.Cap()},
 			"keyword": map[string]int{"len": s.kwIdx.Len(), "cap": s.kwIdx.Cap()},
+			"plans": map[string]int64{
+				"len": int64(planStats.Len), "cap": int64(planStats.Cap),
+				"hits": planStats.Hits, "misses": planStats.Misses, "evictions": planStats.Evictions,
+			},
 		},
 		"engines": engines,
 	}
@@ -302,6 +318,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("whirlpoold_engine_cache_entries").Set(int64(s.engines.Len()))
 	s.reg.Gauge("whirlpoold_keyword_cache_entries").Set(int64(s.kwIdx.Len()))
+	ps := s.planner.Stats()
+	s.reg.Gauge("whirlpoold_plan_cache_entries").Set(int64(ps.Len))
+	s.reg.Gauge("whirlpoold_plan_cache_evictions").Set(ps.Evictions)
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.reg.WritePrometheus(w)
@@ -452,27 +471,43 @@ func (s *server) engineFor(req queryRequest) (*engineEntry, bool, error) {
 	default:
 		return nil, false, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
-	key := fmt.Sprintf("%s|%d|%v|%s", req.Query, req.K, req.Exact, req.Algorithm)
+	q, err := whirlpool.ParseQuery(req.Query)
+	if err != nil {
+		return nil, false, err
+	}
+	planStart := time.Now()
+	plan, planHit, err := s.planner.PlanFor(q, opts.Relax, whirlpool.NormSparse)
+	if err != nil {
+		return nil, false, err
+	}
+	s.reg.Histogram("whirlpoold_planning_duration_us").Observe(time.Since(planStart).Microseconds())
+	if planHit {
+		s.reg.Counter("whirlpoold_plan_cache_hits_total").Inc()
+	} else {
+		s.reg.Counter("whirlpoold_plan_cache_misses_total").Inc()
+	}
+	opts.Plan = plan
+	// The engine cache keys on the plan's canonical key — not the query
+	// text — so whitespace and predicate-order variants share one
+	// engine. Only the dimensions the plan key does not cover (k,
+	// algorithm) are appended.
+	key := fmt.Sprintf("%s|k=%d|alg=%d", plan.Key, req.K, opts.Algorithm)
 	return s.engines.GetOrCreate(key, func() (*engineEntry, error) {
 		if s.buildHook != nil {
 			s.buildHook()
-		}
-		q, err := whirlpool.ParseQuery(req.Query)
-		if err != nil {
-			return nil, err
 		}
 		if s.sdb != nil {
 			engs, err := s.sdb.NewEngine(q, opts)
 			if err != nil {
 				return nil, err
 			}
-			return &engineEntry{key: key, sharded: engs, q: q}, nil
+			return &engineEntry{key: key, sharded: engs, q: plan.Query}, nil
 		}
 		eng, err := s.db.NewEngine(q, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &engineEntry{key: key, eng: eng, q: q}, nil
+		return &engineEntry{key: key, eng: eng, q: plan.Query}, nil
 	})
 }
 

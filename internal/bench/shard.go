@@ -297,8 +297,10 @@ type benchReport struct {
 // {1, 2, 4, 8} plus the allocation profile and keeps the historical
 // case names ("single", "shards-N"); wider gmps re-measure the sharded
 // layouts as "shards-N/gmp-M" so the report shows how the same layout
-// scales with scheduler width.
-func BenchCore(out io.Writer, path string, short bool, gmps []int) error {
+// scales with scheduler width. hot adds the planning-path cases
+// (plan-cold / plan-synopsis / plan-hot, see planCases) the
+// cached-planning gate checks.
+func BenchCore(out io.Writer, path string, short bool, gmps []int, hot bool) error {
 	cfg := Config{Seed: 1, K: 15, OpCost: -1}.withDefaults()
 	cfg.OpCost = 0
 	target, rounds := 8<<20, 5
@@ -385,6 +387,13 @@ func BenchCore(out io.Writer, path string, short bool, gmps []int) error {
 			}
 			addCase(fmt.Sprintf("shards-%d/gmp-%d", p, gmp), p, gmp, m)
 		}
+	}
+	if hot {
+		pcs, err := planCases(out, env, cfg, w, rounds)
+		if err != nil {
+			return err
+		}
+		rep.Cases = append(rep.Cases, pcs...)
 	}
 	f, err := os.Create(path)
 	if err != nil {

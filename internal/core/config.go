@@ -172,6 +172,14 @@ type Config struct {
 	// measurement baseline (internal/bench records both modes) and a
 	// debugging escape hatch; answers and stats are unaffected.
 	DisableReuse bool
+	// Plan, when non-nil, supplies a precompiled query plan
+	// (CompilePlan): server plans, per-server routing statistics and a
+	// cost-based static order, typically drawn from a shared plan cache.
+	// The plan must have been compiled for the same pattern and the same
+	// Relax mode; New verifies both. Answers are identical with or
+	// without a plan — only construction cost and the static-order
+	// default change.
+	Plan *Plan
 	// RouterBatch, when above 1, makes the adaptive router take routing
 	// decisions for groups of up to RouterBatch queue-adjacent partial
 	// matches at once (the paper's "adaptivity in bulk" future-work

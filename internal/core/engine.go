@@ -114,11 +114,20 @@ func New(ix index.Source, q *pattern.Query, cfg Config) (*Engine, error) {
 	if err := cfg.validate(q.Size()); err != nil {
 		return nil, err
 	}
+	if cfg.Plan != nil {
+		if err := cfg.Plan.checkAgainst(q, &cfg); err != nil {
+			return nil, err
+		}
+	}
+	plans := cfg.Plan.serverPlans()
+	if plans == nil {
+		plans = relax.BuildPlans(q, cfg.Relax)
+	}
 	e := &Engine{
 		cfg:         cfg,
 		ix:          ix,
 		query:       q,
-		plans:       relax.BuildPlans(q, cfg.Relax),
+		plans:       plans,
 		maxContrib:  make([]float64, q.Size()),
 		minContrib:  make([]float64, q.Size()),
 		expContrib:  make([]float64, q.Size()),
@@ -140,7 +149,10 @@ func New(ix index.Source, q *pattern.Query, cfg Config) (*Engine, error) {
 		if id > 0 {
 			e.sumMax += e.maxContrib[id]
 			axis := e.plans[id].ProbeAxis()
-			if cfg.Estimator != nil {
+			if cfg.Plan != nil {
+				e.fanout[id] = cfg.Plan.Fanout[id]
+				e.satisfyProb[id] = cfg.Plan.SatisfyProb[id]
+			} else if cfg.Estimator != nil {
 				p := cfg.Estimator.Selectivity(q.Root().Tag, axis, q.Nodes[id].Tag)
 				f := cfg.Estimator.Fanout(q.Root().Tag, axis, q.Nodes[id].Tag)
 				e.satisfyProb[id] = p
@@ -154,9 +166,12 @@ func New(ix index.Source, q *pattern.Query, cfg Config) (*Engine, error) {
 			}
 		}
 	}
-	if cfg.Order != nil {
+	switch {
+	case cfg.Order != nil:
 		e.order = cfg.Order
-	} else {
+	case cfg.Plan != nil && len(cfg.Plan.Order) == q.Size()-1:
+		e.order = cfg.Plan.Order
+	default:
 		e.order = make([]int, 0, q.Size()-1)
 		for id := 1; id < q.Size(); id++ {
 			e.order = append(e.order, id)

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/index"
 	"repro/internal/pattern"
 	"repro/internal/relax"
@@ -19,29 +17,12 @@ import (
 func CostBasedOrder(ix index.Source, q *pattern.Query, r relax.Relaxation) []int {
 	plans := relax.BuildPlans(q, r)
 	rootTag := q.Root().Tag
-	type cost struct {
-		id    int
-		alive float64
-	}
-	costs := make([]cost, 0, q.Size()-1)
+	satisfyProb := make([]float64, q.Size())
+	fanout := make([]float64, q.Size())
 	for id := 1; id < q.Size(); id++ {
 		st := ix.Predicate(rootTag, plans[id].ProbeAxis(), q.Nodes[id].Tag, index.Test(q.Nodes[id].ValueOp, q.Nodes[id].Value))
-		p := st.Selectivity()
-		alive := p * st.MeanFanout()
-		if r.Has(relax.LeafDeletion) {
-			alive += 1 - p // the outer-join's null extension
-		}
-		costs = append(costs, cost{id: id, alive: alive})
+		satisfyProb[id] = st.Selectivity()
+		fanout[id] = st.MeanFanout()
 	}
-	sort.SliceStable(costs, func(i, j int) bool {
-		if costs[i].alive != costs[j].alive {
-			return costs[i].alive < costs[j].alive
-		}
-		return costs[i].id < costs[j].id
-	})
-	order := make([]int, len(costs))
-	for i, c := range costs {
-		order[i] = c.id
-	}
-	return order
+	return orderByAlive(satisfyProb, fanout, r)
 }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/score"
+	"repro/internal/synopsis"
+	"repro/internal/xmark"
+)
+
+// TestEngineFromPlanMatchesScratch builds every engine twice — once the
+// ordinary way and once from a compiled plan backed by a synopsis — and
+// checks the routing statistics are bit-identical and the answers (roots
+// and scores) agree exactly, across relaxation modes and algorithms.
+// +whirllint:exactscore plan-built engines must reproduce scratch scores bit-for-bit
+func TestEngineFromPlanMatchesScratch(t *testing.T) {
+	doc, err := xmark.Generate(xmark.Options{Seed: 3, Items: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(doc)
+	syn := synopsis.Build(doc)
+	queries := []string{
+		"//item[./description/parlist]",
+		"//item[./description/parlist and ./mailbox/mail/text]",
+		"//item[./name = 'no-such-name' and .//text]",
+	}
+	for _, qs := range queries {
+		for _, r := range []relax.Relaxation{relax.None, relax.All} {
+			for _, alg := range []Algorithm{WhirlpoolS, LockStep} {
+				t.Run(fmt.Sprintf("%s/relax=%v/%v", qs, r, alg), func(t *testing.T) {
+					q := pattern.MustParse(qs)
+					s := score.NewTFIDFWithStats(ix, syn, q, score.Sparse)
+					plan, err := CompilePlan(ix, syn, q, r, s, "test-key")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(plan.Order) != q.Size()-1 {
+						t.Fatalf("plan order has %d entries, want %d", len(plan.Order), q.Size()-1)
+					}
+					cfg := Config{K: 5, Relax: r, Algorithm: alg, Scorer: s}
+					scratch, err := New(ix, q, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Plan = plan
+					planned, err := New(ix, q, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for id := 1; id < q.Size(); id++ {
+						if scratch.fanout[id] != planned.fanout[id] || scratch.satisfyProb[id] != planned.satisfyProb[id] {
+							t.Fatalf("node %d stats: plan (%v, %v), scratch (%v, %v)",
+								id, planned.fanout[id], planned.satisfyProb[id], scratch.fanout[id], scratch.satisfyProb[id])
+						}
+					}
+					for i, id := range plan.Order {
+						if planned.order[i] != id {
+							t.Fatalf("engine order %v ignores plan order %v", planned.order, plan.Order)
+						}
+					}
+					want, err := scratch.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := planned.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(want.Answers) != len(got.Answers) {
+						t.Fatalf("%d answers from plan, %d from scratch", len(got.Answers), len(want.Answers))
+					}
+					for i := range want.Answers {
+						if want.Answers[i].Root != got.Answers[i].Root || want.Answers[i].Score != got.Answers[i].Score {
+							t.Fatalf("answer %d: plan (%v, %v), scratch (%v, %v)", i,
+								got.Answers[i].Root, got.Answers[i].Score, want.Answers[i].Root, want.Answers[i].Score)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPlanMismatchesRejected checks New refuses a plan compiled for a
+// different relaxation mode or a different query.
+func TestPlanMismatchesRejected(t *testing.T) {
+	doc, err := xmark.Generate(xmark.Options{Seed: 3, Items: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(doc)
+	q := pattern.MustParse("//item[./name]")
+	s := score.NewTFIDF(ix, q, score.Sparse)
+	plan, err := CompilePlan(ix, nil, q, relax.All, s, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ix, q, Config{K: 1, Relax: relax.None, Scorer: s, Plan: plan}); err == nil {
+		t.Fatal("relaxation mismatch accepted")
+	}
+	other := pattern.MustParse("//item[./payment]")
+	so := score.NewTFIDF(ix, other, score.Sparse)
+	if _, err := New(ix, other, Config{K: 1, Relax: relax.All, Scorer: so, Plan: plan}); err == nil {
+		t.Fatal("query mismatch accepted")
+	}
+}

@@ -28,10 +28,11 @@ type flight[K comparable, V any] struct {
 // whose build is still in flight (their waiters are unaffected — they
 // hold the slot pointer — but the result is no longer cached).
 type Cache[K comparable, V any] struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[K]*list.Element
-	order    *list.List // front = most recently used
+	mu        sync.Mutex
+	capacity  int
+	entries   map[K]*list.Element
+	order     *list.List // front = most recently used
+	evictions int64
 }
 
 // New returns a cache bounded to capacity entries (minimum 1).
@@ -128,7 +129,17 @@ func (c *Cache[K, V]) evictLocked() {
 		f := el.Value.(*flight[K, V])
 		c.order.Remove(el)
 		delete(c.entries, f.key)
+		c.evictions++
 	}
+}
+
+// Evictions returns the number of entries evicted for capacity since
+// the cache was created (failed builds removed by their own caller are
+// not evictions).
+func (c *Cache[K, V]) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Item is one completed cache entry.

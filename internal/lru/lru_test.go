@@ -45,6 +45,30 @@ func TestBasicsAndEviction(t *testing.T) {
 	}
 }
 
+func TestEvictionsCounter(t *testing.T) {
+	c := New[string, int](2)
+	mustCreate(t, c, "a", 1)
+	mustCreate(t, c, "b", 2)
+	if n := c.Evictions(); n != 0 {
+		t.Fatalf("evictions = %d before capacity reached", n)
+	}
+	mustCreate(t, c, "c", 3)
+	mustCreate(t, c, "d", 4)
+	if n := c.Evictions(); n != 2 {
+		t.Fatalf("evictions = %d, want 2", n)
+	}
+	// A failed build removed by its own caller is not an eviction.
+	_, _, err := c.GetOrCreate("e", func() (int, error) { return 0, errors.New("boom") })
+	if err == nil {
+		t.Fatal("expected build error")
+	}
+	if n := c.Evictions(); n != 3 {
+		// Inserting "e" evicted one entry; its failure-removal must not
+		// count again.
+		t.Fatalf("evictions = %d, want 3", n)
+	}
+}
+
 func TestHitReporting(t *testing.T) {
 	c := New[string, int](4)
 	mustCreate(t, c, "k", 9)

@@ -1,0 +1,69 @@
+package score
+
+import (
+	"repro/internal/relax"
+)
+
+// RelaxationUpperBound computes an admissible upper bound on the score
+// of any answer tuple produced by relaxed query rq, scored against the
+// original query orig's component predicates (the rewriting-based
+// evaluator's scoring rule: node i of rq contributes orig node
+// rq.NodeMap[i]'s exact idf when the original root path predicate holds
+// for its binding, the relaxed idf otherwise).
+//
+// For each rq node the bound takes the exact contribution only when the
+// exact variant is achievable — when the level-difference constraint of
+// the original root path rootPath[origID] = (m, e) intersects rq's own
+// composed root path (m', e'), which confines every binding's level
+// difference to {m'} (e') or [m', ∞) (¬e'):
+//
+//	e ∧ e':  achievable iff m = m'
+//	e ∧ ¬e': achievable iff m ≥ m'
+//	¬e ∧ e': achievable iff m' ≥ m
+//	¬e ∧ ¬e': always achievable
+//
+// Otherwise every binding scores the relaxed contribution, which the
+// bound uses exactly. The root term always takes the exact
+// contribution (≥ the relaxed one by the scorer's clamp).
+//
+// The bound holds in float arithmetic, not just over the reals: terms
+// are accumulated in rq node-id order — the same order the evaluator
+// sums a tuple's contributions — and IEEE rounding is monotone, so a
+// term-wise ≥ sum stays ≥ after rounding.
+//
+// The scorer must be node-independent — MaxContribution equal to every
+// exact contribution and MinContribution equal to every relaxed one, as
+// the paper's tf*idf is — and must never score a relaxed variant above
+// the exact one; TFIDF guarantees both.
+//
+// rootPath[id] must hold relax.ComposePath(orig, 0, id) for every
+// non-root id of the original query.
+func RelaxationUpperBound(s Scorer, rootPath []relax.PathPredicate, rq relax.RelaxedQuery) float64 {
+	bound := s.MaxContribution(0)
+	for i := 1; i < rq.Query.Size(); i++ {
+		origID := rq.NodeMap[i]
+		composed := relax.ComposePath(rq.Query, 0, i)
+		if exactAchievable(rootPath[origID], composed) {
+			bound += s.MaxContribution(origID)
+		} else {
+			bound += s.MinContribution(origID)
+		}
+	}
+	return bound
+}
+
+// exactAchievable reports whether some level difference satisfies both
+// the original predicate (m, e) and the relaxed query's composed
+// predicate (m', e') that constrains the candidate bindings.
+func exactAchievable(orig, composed relax.PathPredicate) bool {
+	switch {
+	case orig.Exact && composed.Exact:
+		return orig.MinLevels == composed.MinLevels
+	case orig.Exact:
+		return orig.MinLevels >= composed.MinLevels
+	case composed.Exact:
+		return composed.MinLevels >= orig.MinLevels
+	default:
+		return true
+	}
+}

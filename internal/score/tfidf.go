@@ -65,8 +65,27 @@ type TFIDF struct {
 	expected   []float64
 }
 
+// StatsSource supplies pre-resolved component-predicate statistics —
+// typically a corpus structure synopsis (internal/synopsis) — so a
+// scorer can be built without fanning index probes out across every
+// shard at query time. ok must be false whenever the source cannot
+// answer the node's predicate exactly (e.g. content predicates); the
+// scorer then falls back to scanning for that node only.
+type StatsSource interface {
+	ComponentStats(q *pattern.Query, id int) (exact, relaxed index.PredicateStats, ok bool)
+}
+
 // NewTFIDF builds a tf*idf scorer for q against the indexed database ix.
 func NewTFIDF(ix index.Source, q *pattern.Query, norm Normalization) *TFIDF {
+	return NewTFIDFWithStats(ix, nil, q, norm)
+}
+
+// NewTFIDFWithStats is NewTFIDF drawing per-predicate statistics from
+// stats where it can answer (value-free predicates), scanning ix only
+// for the rest. A synopsis-backed stats source yields exactly the
+// numbers the scan produces, so the resulting scorer is identical to
+// NewTFIDF's — just cheaper to build.
+func NewTFIDFWithStats(ix index.Source, stats StatsSource, q *pattern.Query, norm Normalization) *TFIDF {
 	n := q.Size()
 	s := &TFIDF{
 		idfExact:   make([]float64, n),
@@ -78,7 +97,14 @@ func NewTFIDF(ix index.Source, q *pattern.Query, norm Normalization) *TFIDF {
 	rootTag := q.Root().Tag
 	rootCount := ix.CountTag(rootTag)
 	for id := 0; id < n; id++ {
-		exactStats, relaxedStats := predicateStats(ix, q, id)
+		var exactStats, relaxedStats index.PredicateStats
+		resolved := false
+		if stats != nil {
+			exactStats, relaxedStats, resolved = stats.ComponentStats(q, id)
+		}
+		if !resolved {
+			exactStats, relaxedStats = predicateStats(ix, q, id)
+		}
 		s.idfExact[id] = idf(rootCount, exactStats.Satisfying)
 		s.idfRelaxed[id] = idf(rootCount, relaxedStats.Satisfying)
 		if s.idfRelaxed[id] > s.idfExact[id] {

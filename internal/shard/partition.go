@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/index"
+	"repro/internal/synopsis"
 	"repro/internal/xmltree"
 )
 
@@ -64,6 +65,7 @@ type Corpus struct {
 	mu          sync.Mutex
 	mergedTag   map[string][]*xmltree.Node // cache: tag -> merged postings
 	mergedMatch map[string][]*xmltree.Node // cache: filtered postings
+	syn         *synopsis.Synopsis         // memoized corpus synopsis (see synopsis.go)
 }
 
 // Split partitions doc into p shards of complete subtrees. The unit pool

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/synopsis"
+	"repro/internal/xmltree"
+)
+
+// Synopsis returns the corpus's structure synopsis, built per shard in
+// parallel and merged so the result is byte-identical to a
+// whole-document synopsis.Build — every part holds complete subtrees,
+// so its anchors' descendant statistics are exact locally; the spine
+// nodes (whose subtrees span parts) are folded in from per-unit level
+// histograms. The synopsis is computed once and memoized; the build
+// runs under mu, so concurrent first callers wait rather than race.
+func (c *Corpus) Synopsis() *synopsis.Synopsis {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.syn == nil {
+		c.syn = c.buildSynopsis()
+	}
+	return c.syn
+}
+
+func (c *Corpus) buildSynopsis() *synopsis.Synopsis {
+	// Per-part partial synopses, one goroutine per part (same shape as
+	// the parallel index build in Split). Each also collects its units'
+	// absolute-level histograms for the spine fold below.
+	partial := make([]*synopsis.Synopsis, len(c.parts))
+	unitHists := make([]map[int]map[string][]int, len(c.parts))
+	var wg sync.WaitGroup
+	for i, p := range c.parts {
+		wg.Add(1)
+		go func(i int, p *Part) {
+			defer wg.Done()
+			b := synopsis.NewBuilder()
+			hists := make(map[int]map[string][]int, len(p.Units))
+			for _, u := range p.Units {
+				b.AddSubtree(u)
+				hists[u.Ord] = synopsis.SubtreeHist(u)
+			}
+			partial[i] = b.Synopsis()
+			unitHists[i] = hists
+		}(i, p)
+	}
+	wg.Wait()
+	histByOrd := make(map[int]map[string][]int)
+	for _, m := range unitHists {
+		for ord, h := range m {
+			histByOrd[ord] = h
+		}
+	}
+
+	// Spine fold: every child of a spine node is either a spine node or
+	// a unit root (cutting promotes all children to units; some are cut
+	// again later), so one bottom-up pass — descending preorder ordinal
+	// visits children before parents — assembles each spine subtree's
+	// histogram from memoized pieces without re-walking any shard.
+	sb := synopsis.NewBuilder()
+	spineHist := make(map[int]map[string][]int, len(c.spine))
+	for i := len(c.spine) - 1; i >= 0; i-- {
+		s := c.spine[i]
+		sum := make(map[string][]int)
+		for _, ch := range s.Children {
+			if c.homes[ch.Ord] == -1 {
+				synopsis.MergeHist(sum, spineHist[ch.Ord])
+			} else {
+				synopsis.MergeHist(sum, histByOrd[ch.Ord])
+			}
+		}
+		lvl := s.Level()
+		tf := make(map[string][]int, len(sum))
+		for tag, arr := range sum {
+			if len(arr) <= lvl+1 {
+				continue // no entries strictly below the anchor
+			}
+			shifted := make([]int, len(arr)-lvl)
+			copy(shifted[1:], arr[lvl+1:])
+			tf[tag] = shifted
+		}
+		sb.AddAnchor(spinePath(s), s.Value != "", tf)
+		own := make([]int, lvl+1)
+		own[lvl] = 1
+		synopsis.MergeHist(sum, map[string][]int{s.Tag: own})
+		spineHist[s.Ord] = sum
+	}
+
+	return synopsis.Merge(append(partial, sb.Synopsis())...)
+}
+
+// spinePath returns n's full root path, outermost tag first, ending
+// with n's own tag.
+func spinePath(n *xmltree.Node) []string {
+	var path []string
+	for a := n; a != nil; a = a.Parent {
+		path = append(path, a.Tag)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,45 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/synopsis"
+	"repro/internal/xmltree"
+)
+
+// TestCorpusSynopsisMatchesWholeDoc partitions documents at several
+// shard counts and checks the merged per-shard synopsis is identical —
+// same paths, counts and all per-diff descendant arrays — to a
+// whole-document build. This is what makes planner statistics
+// shard-count independent.
+func TestCorpusSynopsisMatchesWholeDoc(t *testing.T) {
+	docs := map[string]*xmltree.Document{
+		"xmark-S": xmarkDoc(t, 40),
+		"xmark-M": xmarkDoc(t, 200),
+	}
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 3; i++ {
+		docs[fmt.Sprintf("random%d", i)] = randomDoc(r)
+	}
+	for name, doc := range docs {
+		whole := synopsis.Build(doc).Fingerprint()
+		for _, p := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/p=%d", name, p), func(t *testing.T) {
+				c, err := shard.Split(doc, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				syn := c.Synopsis()
+				if got := syn.Fingerprint(); got != whole {
+					t.Fatalf("sharded synopsis fingerprint %s != whole-doc %s", got, whole)
+				}
+				if again := c.Synopsis(); again != syn {
+					t.Fatal("Synopsis must be memoized")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,610 @@
+// Package synopsis implements a compact structure synopsis of an XML
+// corpus: an annotated strong dataguide (one trie node per distinct
+// root-to-node tag path) whose annotations are rich enough to answer the
+// exact per-predicate statistics the tf*idf scorer and the size-based
+// router otherwise recompute with index scans for every query.
+//
+// For every dataguide path p and every tag t occurring below it, the
+// synopsis stores per-level-difference arrays over the anchors at p
+// (the document nodes whose root path is p):
+//
+//   - pairs[d]:     total (anchor, t-descendant) pairs at exactly d levels
+//   - satExact[d]:  anchors with ≥ 1 t-descendant at exactly d levels
+//   - maxExact[d]:  max per-anchor t-descendant count at exactly d levels
+//   - cntMax[d]:    anchors whose deepest t-descendant is at d levels
+//   - maxAtLeast[d]: max over anchors having a t-descendant at d levels
+//     of their total t-descendant count at ≥ d levels
+//
+// These five arrays answer both forms of the paper's component
+// predicates exactly (Definition 4.2/4.3 statistics):
+//
+//   - exact "descendant at exactly m levels": Satisfying = satExact[m],
+//     TotalPairs = pairs[m], MaxTF = maxExact[m];
+//   - relaxed "descendant at ≥ m levels": TotalPairs = Σ_{d≥m} pairs[d],
+//     Satisfying = Σ_{d≥m} cntMax[d] (an anchor has a t-descendant at
+//     ≥ m levels iff its deepest one is), MaxTF = max_{d≥m} maxAtLeast[d].
+//
+// The MaxTF identity holds because an anchor's suffix count
+// g(m) = Σ_{d≥m} tf[d] is non-increasing in m: every stored
+// maxAtLeast[d] with d ≥ m is some anchor's g(d) ≤ g(m), and the anchor
+// realizing max g(m) has a descendant at its own minimal diff d* ≥ m
+// where g(d*) = g(m) was recorded.
+//
+// The synopsis is built in one pass (Build), or per shard and merged
+// (Builder + Merge): anchor statistics over disjoint anchor sets sum
+// (counts) or max (maxima), so a sharded corpus of complete subtrees
+// merges into exactly the whole-document synopsis.
+package synopsis
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/relax"
+	"repro/internal/xmltree"
+)
+
+// descStat holds the per-level-difference arrays for one (path,
+// descendant tag) pair. Index 0 is unused (a strict descendant is ≥ 1
+// level down); arrays are as long as the deepest observed difference.
+type descStat struct {
+	pairs      []int
+	satExact   []int
+	maxExact   []int
+	cntMax     []int
+	maxAtLeast []int
+}
+
+func (ds *descStat) grow(n int) {
+	if len(ds.pairs) >= n {
+		return
+	}
+	ds.pairs = growInts(ds.pairs, n)
+	ds.satExact = growInts(ds.satExact, n)
+	ds.maxExact = growInts(ds.maxExact, n)
+	ds.cntMax = growInts(ds.cntMax, n)
+	ds.maxAtLeast = growInts(ds.maxAtLeast, n)
+}
+
+func growInts(a []int, n int) []int {
+	if cap(a) >= n {
+		return a[:n]
+	}
+	b := make([]int, n)
+	copy(b, a)
+	return b
+}
+
+// pathNode is one strong-dataguide node: a distinct root-to-node tag
+// path, its population count, and the descendant statistics of its
+// anchors.
+type pathNode struct {
+	tag      string
+	depth    int // forest roots are depth 1
+	count    int // document nodes with exactly this root path
+	children map[string]*pathNode
+	desc     map[string]*descStat
+}
+
+func (pn *pathNode) child(tag string, create bool) *pathNode {
+	if c, ok := pn.children[tag]; ok {
+		return c
+	}
+	if !create {
+		return nil
+	}
+	if pn.children == nil {
+		pn.children = make(map[string]*pathNode)
+	}
+	c := &pathNode{tag: tag, depth: pn.depth + 1}
+	pn.children[tag] = c
+	return c
+}
+
+func (pn *pathNode) descFor(tag string) *descStat {
+	if ds, ok := pn.desc[tag]; ok {
+		return ds
+	}
+	if pn.desc == nil {
+		pn.desc = make(map[string]*descStat)
+	}
+	ds := &descStat{}
+	pn.desc[tag] = ds
+	return ds
+}
+
+// tagStat aggregates one tag across the corpus.
+type tagStat struct {
+	count  int // all nodes with the tag
+	valued int // nodes carrying text — the per-tag keyword df
+}
+
+// Synopsis is the finished, immutable structure synopsis. Safe for
+// concurrent readers after Build / Builder.Synopsis / Merge return.
+type Synopsis struct {
+	root  *pathNode // virtual forest root, depth 0
+	tags  map[string]*tagStat
+	byTag map[string][]*pathNode // every dataguide node carrying the tag
+	nodes int
+	paths int
+}
+
+// Build constructs the synopsis of a whole document in one preorder
+// pass: visiting a node increments the (tag, level-difference) counter
+// of every open ancestor frame, and popping a frame folds that single
+// anchor's counts into its dataguide node's arrays.
+func Build(doc *xmltree.Document) *Synopsis {
+	b := NewBuilder()
+	for _, r := range doc.Roots {
+		b.AddSubtree(r)
+	}
+	return b.Synopsis()
+}
+
+// Builder accumulates synopsis state subtree by subtree. Not safe for
+// concurrent use; build one per shard and Merge the results.
+type Builder struct {
+	root  *pathNode
+	tags  map[string]*tagStat
+	nodes int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{root: &pathNode{}, tags: make(map[string]*tagStat)}
+}
+
+type frame struct {
+	level int
+	tf    map[string][]int // descendant tag -> count per level difference
+}
+
+// AddSubtree folds the complete subtree rooted at n into the builder.
+// n's dataguide path is resolved by walking its (possibly external)
+// ancestors, so a shard holding complete subtrees of a larger document
+// files them under their true corpus paths. The subtree must be
+// complete: every descendant of n is assumed present.
+func (b *Builder) AddSubtree(n *xmltree.Node) {
+	pn := b.root
+	for _, tag := range ancestorTags(n) {
+		pn = pn.child(tag, true)
+	}
+	b.add(n, pn, make([]*frame, 0, 16))
+}
+
+// ancestorTags returns the tags of n's strict ancestors, outermost
+// first.
+func ancestorTags(n *xmltree.Node) []string {
+	var tags []string
+	for a := n.Parent; a != nil; a = a.Parent {
+		tags = append(tags, a.Tag)
+	}
+	for i, j := 0, len(tags)-1; i < j; i, j = i+1, j-1 {
+		tags[i], tags[j] = tags[j], tags[i]
+	}
+	return tags
+}
+
+func (b *Builder) add(n *xmltree.Node, parent *pathNode, stack []*frame) {
+	pn := parent.child(n.Tag, true)
+	pn.count++
+	b.countTag(n.Tag, n.Value != "")
+	lvl := n.Level()
+	for _, fr := range stack {
+		d := lvl - fr.level
+		arr := growInts(fr.tf[n.Tag], maxInt(len(fr.tf[n.Tag]), d+1))
+		arr[d]++
+		fr.tf[n.Tag] = arr
+	}
+	fr := &frame{level: lvl, tf: make(map[string][]int)}
+	stack = append(stack, fr)
+	for _, c := range n.Children {
+		b.add(c, pn, stack)
+	}
+	fold(pn, fr.tf)
+}
+
+func (b *Builder) countTag(tag string, valued bool) {
+	ts, ok := b.tags[tag]
+	if !ok {
+		ts = &tagStat{}
+		b.tags[tag] = ts
+	}
+	ts.count++
+	if valued {
+		ts.valued++
+	}
+	b.nodes++
+}
+
+// AddAnchor files one anchor node whose descendants were counted
+// externally: path is its full root path (outermost tag first, ending
+// with the anchor's own tag), valued marks text content, and tf maps
+// each descendant tag to its count per level difference (index d = d
+// levels below the anchor; index 0 ignored). The sharded build uses
+// this for spine nodes, whose subtrees span shards.
+func (b *Builder) AddAnchor(path []string, valued bool, tf map[string][]int) {
+	pn := b.root
+	for _, tag := range path {
+		pn = pn.child(tag, true)
+	}
+	pn.count++
+	b.countTag(path[len(path)-1], valued)
+	fold(pn, tf)
+}
+
+// fold merges one anchor's per-(tag, diff) descendant counts into its
+// dataguide node, walking each array in descending-diff order so the
+// ≥-suffix statistics (cntMax, maxAtLeast) come out in the same pass.
+func fold(pn *pathNode, tf map[string][]int) {
+	for tag, arr := range tf {
+		ds := pn.descFor(tag)
+		ds.grow(len(arr))
+		suffix := 0
+		maxd := 0
+		for d := len(arr) - 1; d >= 1; d-- {
+			c := arr[d]
+			suffix += c
+			if c == 0 {
+				continue
+			}
+			if maxd == 0 {
+				maxd = d
+			}
+			ds.pairs[d] += c
+			ds.satExact[d]++
+			if c > ds.maxExact[d] {
+				ds.maxExact[d] = c
+			}
+			if suffix > ds.maxAtLeast[d] {
+				ds.maxAtLeast[d] = suffix
+			}
+		}
+		if maxd > 0 {
+			ds.cntMax[maxd]++
+		}
+	}
+}
+
+// SubtreeHist returns the (tag → count per absolute level) histogram of
+// the complete subtree rooted at n, including n itself. The sharded
+// build collects one per unit so spine anchors can sum their
+// descendants without re-walking shard contents.
+func SubtreeHist(n *xmltree.Node) map[string][]int {
+	h := make(map[string][]int)
+	var walk func(m *xmltree.Node)
+	walk = func(m *xmltree.Node) {
+		lvl := m.Level()
+		arr := growInts(h[m.Tag], maxInt(len(h[m.Tag]), lvl+1))
+		arr[lvl]++
+		h[m.Tag] = arr
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return h
+}
+
+// MergeHist adds src into dst, both absolute-level histograms.
+func MergeHist(dst, src map[string][]int) {
+	for tag, arr := range src {
+		d := growInts(dst[tag], maxInt(len(dst[tag]), len(arr)))
+		for i, c := range arr {
+			d[i] += c
+		}
+		dst[tag] = d
+	}
+}
+
+// Synopsis finalizes the builder.
+func (b *Builder) Synopsis() *Synopsis {
+	s := &Synopsis{root: b.root, tags: b.tags, nodes: b.nodes}
+	s.finalize()
+	return s
+}
+
+// Merge combines synopses built over disjoint anchor sets (e.g. one per
+// shard) into one corpus synopsis. Counts sum, maxima take the max; the
+// inputs are not modified.
+func Merge(parts ...*Synopsis) *Synopsis {
+	out := &Synopsis{root: &pathNode{}, tags: make(map[string]*tagStat)}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		mergeNode(out.root, p.root)
+		for tag, ts := range p.tags {
+			dst, ok := out.tags[tag]
+			if !ok {
+				dst = &tagStat{}
+				out.tags[tag] = dst
+			}
+			dst.count += ts.count
+			dst.valued += ts.valued
+		}
+		out.nodes += p.nodes
+	}
+	out.finalize()
+	return out
+}
+
+func mergeNode(dst, src *pathNode) {
+	dst.count += src.count
+	for tag, ds := range src.desc {
+		d := dst.descFor(tag)
+		d.grow(len(ds.pairs))
+		for i := range ds.pairs {
+			d.pairs[i] += ds.pairs[i]
+			d.satExact[i] += ds.satExact[i]
+			d.cntMax[i] += ds.cntMax[i]
+			if ds.maxExact[i] > d.maxExact[i] {
+				d.maxExact[i] = ds.maxExact[i]
+			}
+			if ds.maxAtLeast[i] > d.maxAtLeast[i] {
+				d.maxAtLeast[i] = ds.maxAtLeast[i]
+			}
+		}
+	}
+	for tag, sc := range src.children {
+		mergeNode(dst.child(tag, true), sc)
+	}
+}
+
+// finalize computes the derived per-tag dataguide-node index.
+func (s *Synopsis) finalize() {
+	s.byTag = make(map[string][]*pathNode)
+	s.paths = 0
+	var walk func(pn *pathNode)
+	walk = func(pn *pathNode) {
+		if pn.depth > 0 {
+			s.paths++
+			s.byTag[pn.tag] = append(s.byTag[pn.tag], pn)
+		}
+		for _, tag := range sortedKeys(pn.children) {
+			walk(pn.children[tag])
+		}
+	}
+	walk(s.root)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NodeCount returns the number of document nodes summarized.
+func (s *Synopsis) NodeCount() int { return s.nodes }
+
+// PathCount returns the number of distinct root-to-node tag paths.
+func (s *Synopsis) PathCount() int { return s.paths }
+
+// TagCount returns the number of nodes carrying the tag.
+func (s *Synopsis) TagCount(tag string) int {
+	if ts, ok := s.tags[tag]; ok {
+		return ts.count
+	}
+	return 0
+}
+
+// DF returns the keyword document frequency of a tag: the number of
+// tag nodes carrying text content.
+func (s *Synopsis) DF(tag string) int {
+	if ts, ok := s.tags[tag]; ok {
+		return ts.valued
+	}
+	return 0
+}
+
+// KeywordIDF returns the add-one-smoothed idf of "a tag node carries
+// text": log(1 + count/df), log(1 + count) when no tag node has text, 0
+// for an absent tag — the same shape as Definition 4.2's structural idf.
+func (s *Synopsis) KeywordIDF(tag string) float64 {
+	ts, ok := s.tags[tag]
+	if !ok || ts.count == 0 {
+		return 0
+	}
+	if ts.valued == 0 {
+		return math.Log(1 + float64(ts.count))
+	}
+	return math.Log(1 + float64(ts.count)/float64(ts.valued))
+}
+
+// WalkPaths visits every dataguide path in sorted order with its
+// population count. path is reused across calls; copy to retain.
+func (s *Synopsis) WalkPaths(fn func(path []string, count int)) {
+	var path []string
+	var walk func(pn *pathNode)
+	walk = func(pn *pathNode) {
+		if pn.depth > 0 {
+			path = append(path, pn.tag)
+			fn(path, pn.count)
+		}
+		for _, tag := range sortedKeys(pn.children) {
+			walk(pn.children[tag])
+		}
+		if pn.depth > 0 {
+			path = path[:len(path)-1]
+		}
+	}
+	walk(s.root)
+}
+
+// PathStats returns the exact statistics of the component predicate "an
+// anchorTag node has a tag descendant related by pp" over the whole
+// corpus — the same numbers a per-root index scan produces, aggregated
+// from the dataguide annotations instead.
+func (s *Synopsis) PathStats(anchorTag string, pp relax.PathPredicate, tag string) index.PredicateStats {
+	st := index.PredicateStats{RootCount: s.TagCount(anchorTag)}
+	m := pp.MinLevels
+	if m < 1 {
+		// Strict descendants are ≥ 1 level down; a non-exact MinLevels
+		// of 0 is the same ≥ 1 scan, and an exact 0 (self) never holds
+		// for a descendant probe.
+		if pp.Exact {
+			return st
+		}
+		m = 1
+	}
+	for _, pn := range s.byTag[anchorTag] {
+		ds, ok := pn.desc[tag]
+		if !ok {
+			continue
+		}
+		if pp.Exact {
+			if m < len(ds.pairs) {
+				st.Satisfying += ds.satExact[m]
+				st.TotalPairs += ds.pairs[m]
+				if ds.maxExact[m] > st.MaxTF {
+					st.MaxTF = ds.maxExact[m]
+				}
+			}
+			continue
+		}
+		for d := m; d < len(ds.pairs); d++ {
+			st.Satisfying += ds.cntMax[d]
+			st.TotalPairs += ds.pairs[d]
+			if ds.maxAtLeast[d] > st.MaxTF {
+				st.MaxTF = ds.maxAtLeast[d]
+			}
+		}
+	}
+	return st
+}
+
+// Predicate returns the statistics of the plain axis predicate relating
+// anchorTag nodes to tag nodes — the synopsis analog of
+// index.Predicate with no value test. ok is false for unsupported axes.
+func (s *Synopsis) Predicate(anchorTag string, axis dewey.Axis, tag string) (index.PredicateStats, bool) {
+	switch axis {
+	case dewey.Child:
+		return s.PathStats(anchorTag, relax.PathPredicate{MinLevels: 1, Exact: true}, tag), true
+	case dewey.Descendant:
+		return s.PathStats(anchorTag, relax.PathPredicate{MinLevels: 1, Exact: false}, tag), true
+	case dewey.Self:
+		st := index.PredicateStats{RootCount: s.TagCount(anchorTag)}
+		if anchorTag == tag {
+			st.Satisfying = st.RootCount
+			st.TotalPairs = st.RootCount
+			if st.RootCount > 0 {
+				st.MaxTF = 1
+			}
+		}
+		return st, true
+	default:
+		return index.PredicateStats{}, false
+	}
+}
+
+// Fanout implements core.Estimator: the expected number of tag nodes on
+// the axis of one anchorTag node, over all anchors. Exact, not an
+// estimate.
+func (s *Synopsis) Fanout(anchorTag string, axis dewey.Axis, tag string) float64 {
+	st, ok := s.Predicate(anchorTag, axis, tag)
+	if !ok || st.RootCount == 0 {
+		return 0
+	}
+	return float64(st.TotalPairs) / float64(st.RootCount)
+}
+
+// Selectivity implements core.Estimator: the fraction of anchorTag
+// nodes with at least one tag node on the axis. Exact, not an estimate.
+func (s *Synopsis) Selectivity(anchorTag string, axis dewey.Axis, tag string) float64 {
+	st, ok := s.Predicate(anchorTag, axis, tag)
+	if !ok {
+		return 0
+	}
+	return st.Selectivity()
+}
+
+// ComponentStats returns the exact and relaxed statistics of query
+// node id's component predicate p(q0, qi), matching the tf*idf scorer's
+// per-root index scan number for number. ok is false when the node
+// carries a content predicate — value distributions are not
+// synopsized, so the caller must fall back to scanning.
+func (s *Synopsis) ComponentStats(q *pattern.Query, id int) (exact, relaxed index.PredicateStats, ok bool) {
+	node := q.Nodes[id]
+	rootTag := q.Root().Tag
+	if id == 0 {
+		// The root's predicate relates it to the virtual document root;
+		// the scan counts every rootTag node regardless of content.
+		total := s.TagCount(rootTag)
+		sat := total
+		if node.Axis == dewey.Child {
+			if pn := s.root.child(rootTag, false); pn != nil {
+				sat = pn.count
+			} else {
+				sat = 0
+			}
+		}
+		exact = index.PredicateStats{RootCount: total, Satisfying: sat, TotalPairs: sat, MaxTF: 1}
+		relaxed = index.PredicateStats{RootCount: total, Satisfying: total, TotalPairs: total, MaxTF: 1}
+		return exact, relaxed, true
+	}
+	if !index.Test(node.ValueOp, node.Value).Any() {
+		return exact, relaxed, false
+	}
+	exact = s.PathStats(rootTag, relax.ComposePath(q, 0, id), node.Tag)
+	relaxed = s.PathStats(rootTag, relax.PathPredicate{MinLevels: 1, Exact: false}, node.Tag)
+	return exact, relaxed, true
+}
+
+// Fingerprint returns a canonical hash of the full synopsis content
+// (paths, counts, tag stats and all per-diff arrays, trailing zeros
+// ignored), for asserting that differently-assembled synopses — whole
+// document vs. merged shards — are identical.
+func (s *Synopsis) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "nodes=%d;paths=%d;", s.nodes, s.paths)
+	for _, tag := range sortedKeys(s.tags) {
+		ts := s.tags[tag]
+		fmt.Fprintf(h, "tag=%s:%d:%d;", tag, ts.count, ts.valued)
+	}
+	var walk func(pn *pathNode, prefix string)
+	walk = func(pn *pathNode, prefix string) {
+		fmt.Fprintf(h, "path=%s:%d;", prefix, pn.count)
+		for _, tag := range sortedKeys(pn.desc) {
+			ds := pn.desc[tag]
+			fmt.Fprintf(h, "desc=%s", tag)
+			writeTrimmed(h, "p", ds.pairs)
+			writeTrimmed(h, "se", ds.satExact)
+			writeTrimmed(h, "me", ds.maxExact)
+			writeTrimmed(h, "cm", ds.cntMax)
+			writeTrimmed(h, "ma", ds.maxAtLeast)
+			fmt.Fprint(h, ";")
+		}
+		for _, tag := range sortedKeys(pn.children) {
+			walk(pn.children[tag], prefix+"/"+tag)
+		}
+	}
+	walk(s.root, "")
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func writeTrimmed(h interface{ Write([]byte) (int, error) }, label string, a []int) {
+	end := len(a)
+	for end > 0 && a[end-1] == 0 {
+		end--
+	}
+	fmt.Fprintf(h, "[%s", label)
+	for _, v := range a[:end] {
+		fmt.Fprintf(h, ",%d", v)
+	}
+	fmt.Fprint(h, "]")
+}

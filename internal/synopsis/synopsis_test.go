@@ -1,0 +1,269 @@
+package synopsis
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dewey"
+	"repro/internal/estimate"
+	"repro/internal/relax"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+func xmarkDoc(t *testing.T, items int) *xmltree.Document {
+	t.Helper()
+	doc, err := xmark.Generate(xmark.Options{Seed: 1, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// randomDoc builds a small document with heavy tag reuse across levels,
+// so the same tag appears at many distinct paths and level differences.
+func randomDoc(r *rand.Rand) *xmltree.Document {
+	tags := []string{"a", "b", "c", "d"}
+	doc := xmltree.NewDocument()
+	var grow func(n *xmltree.Node, depth int)
+	grow = func(n *xmltree.Node, depth int) {
+		if depth > 6 {
+			return
+		}
+		kids := r.Intn(4)
+		for i := 0; i < kids; i++ {
+			val := ""
+			if r.Intn(3) == 0 {
+				val = fmt.Sprintf("v%d", r.Intn(3))
+			}
+			c := doc.AddChild(n, tags[r.Intn(len(tags))], val)
+			grow(c, depth+1)
+		}
+	}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		grow(doc.AddRoot(tags[r.Intn(len(tags))]), 1)
+	}
+	doc.Renumber()
+	return doc
+}
+
+func testDocs(t *testing.T) map[string]*xmltree.Document {
+	t.Helper()
+	docs := map[string]*xmltree.Document{
+		"xmark-S": xmarkDoc(t, 60),
+		"xmark-M": xmarkDoc(t, 250),
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 4; i++ {
+		docs[fmt.Sprintf("random%d", i)] = randomDoc(r)
+	}
+	return docs
+}
+
+// TestPathCounts recomputes every root-to-node path count by brute
+// force and checks the dataguide agrees exactly, plus the node/path
+// totals.
+func TestPathCounts(t *testing.T) {
+	for name, doc := range testDocs(t) {
+		t.Run(name, func(t *testing.T) {
+			s := Build(doc)
+			want := make(map[string]int)
+			for _, n := range doc.Nodes {
+				var parts []string
+				for a := n; a != nil; a = a.Parent {
+					parts = append(parts, a.Tag)
+				}
+				for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+					parts[i], parts[j] = parts[j], parts[i]
+				}
+				want["/"+strings.Join(parts, "/")]++
+			}
+			got := make(map[string]int)
+			s.WalkPaths(func(path []string, count int) {
+				got["/"+strings.Join(path, "/")] = count
+			})
+			if len(got) != len(want) {
+				t.Fatalf("paths = %d, want %d", len(got), len(want))
+			}
+			for p, c := range want {
+				if got[p] != c {
+					t.Fatalf("path %s count = %d, want %d", p, got[p], c)
+				}
+			}
+			if s.PathCount() != len(want) {
+				t.Fatalf("PathCount = %d, want %d", s.PathCount(), len(want))
+			}
+			if s.NodeCount() != len(doc.Nodes) {
+				t.Fatalf("NodeCount = %d, want %d", s.NodeCount(), len(doc.Nodes))
+			}
+		})
+	}
+}
+
+// brutePathStats recomputes PathStats by scanning every anchor's
+// descendants — the oracle the dataguide annotations must match.
+func brutePathStats(doc *xmltree.Document, anchorTag string, pp relax.PathPredicate, tag string) (st struct{ RootCount, Satisfying, TotalPairs, MaxTF int }) {
+	for _, n := range doc.Nodes {
+		if n.Tag != anchorTag {
+			continue
+		}
+		st.RootCount++
+		tf := 0
+		for _, c := range n.Descendants() {
+			if c.Tag != tag {
+				continue
+			}
+			if pp.HoldsExact(n.ID, c.ID) {
+				tf++
+			}
+		}
+		if tf > 0 {
+			st.Satisfying++
+			st.TotalPairs += tf
+			if tf > st.MaxTF {
+				st.MaxTF = tf
+			}
+		}
+	}
+	return st
+}
+
+func allTags(doc *xmltree.Document) []string {
+	seen := make(map[string]bool)
+	var tags []string
+	for _, n := range doc.Nodes {
+		if !seen[n.Tag] {
+			seen[n.Tag] = true
+			tags = append(tags, n.Tag)
+		}
+	}
+	return tags
+}
+
+// TestPathStats sweeps (anchor tag, descendant tag, min levels, exact)
+// combinations and compares every statistic against the brute-force
+// per-anchor scan.
+func TestPathStats(t *testing.T) {
+	for name, doc := range testDocs(t) {
+		t.Run(name, func(t *testing.T) {
+			s := Build(doc)
+			tags := allTags(doc)
+			r := rand.New(rand.NewSource(3))
+			type combo struct {
+				anchor, tag string
+				pp          relax.PathPredicate
+			}
+			var combos []combo
+			for i := 0; i < 200; i++ {
+				combos = append(combos, combo{
+					anchor: tags[r.Intn(len(tags))],
+					tag:    tags[r.Intn(len(tags))],
+					pp:     relax.PathPredicate{MinLevels: r.Intn(6), Exact: r.Intn(2) == 0},
+				})
+			}
+			for _, c := range combos {
+				want := brutePathStats(doc, c.anchor, c.pp, c.tag)
+				got := s.PathStats(c.anchor, c.pp, c.tag)
+				if got.RootCount != want.RootCount || got.Satisfying != want.Satisfying ||
+					got.TotalPairs != want.TotalPairs || got.MaxTF != want.MaxTF {
+					t.Fatalf("PathStats(%s, %v, %s) = %+v, want %+v", c.anchor, c.pp, c.tag, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTagStats checks per-tag counts and keyword document frequencies.
+func TestTagStats(t *testing.T) {
+	for name, doc := range testDocs(t) {
+		t.Run(name, func(t *testing.T) {
+			s := Build(doc)
+			count := make(map[string]int)
+			valued := make(map[string]int)
+			for _, n := range doc.Nodes {
+				count[n.Tag]++
+				if n.Value != "" {
+					valued[n.Tag]++
+				}
+			}
+			for tag, c := range count {
+				if s.TagCount(tag) != c {
+					t.Fatalf("TagCount(%s) = %d, want %d", tag, s.TagCount(tag), c)
+				}
+				if s.DF(tag) != valued[tag] {
+					t.Fatalf("DF(%s) = %d, want %d", tag, s.DF(tag), valued[tag])
+				}
+				if valued[tag] > 0 && s.KeywordIDF(tag) <= 0 {
+					t.Fatalf("KeywordIDF(%s) = %v, want > 0", tag, s.KeywordIDF(tag))
+				}
+			}
+			if s.TagCount("no-such-tag") != 0 || s.DF("no-such-tag") != 0 || s.KeywordIDF("no-such-tag") != 0 {
+				t.Fatal("absent tag must report zero stats")
+			}
+		})
+	}
+}
+
+// TestMergeEqualsWhole splits the forest into per-root builders and
+// checks the merged synopsis is identical to the one-pass build.
+func TestMergeEqualsWhole(t *testing.T) {
+	for name, doc := range testDocs(t) {
+		t.Run(name, func(t *testing.T) {
+			whole := Build(doc)
+			var parts []*Synopsis
+			for _, r := range doc.Roots {
+				b := NewBuilder()
+				b.AddSubtree(r)
+				parts = append(parts, b.Synopsis())
+			}
+			merged := Merge(parts...)
+			if got, want := merged.Fingerprint(), whole.Fingerprint(); got != want {
+				t.Fatalf("merged fingerprint %s != whole %s", got, want)
+			}
+		})
+	}
+}
+
+// TestSubsumesEstimate validates the synopsis against the Markov
+// summary it subsumes: tag counts agree exactly, direct-child fanout is
+// the same integer ratio, and wherever the exact descendant fanout is
+// positive the Markov estimate is too.
+func TestSubsumesEstimate(t *testing.T) {
+	doc := xmarkDoc(t, 120)
+	s := Build(doc)
+	sum := estimate.Summarize(doc)
+	for _, anchor := range allTags(doc) {
+		if s.TagCount(anchor) != sum.TagCount(anchor) {
+			t.Fatalf("TagCount(%s): synopsis %d, estimate %d", anchor, s.TagCount(anchor), sum.TagCount(anchor))
+		}
+		for _, tag := range allTags(doc) {
+			if got, want := s.Fanout(anchor, dewey.Child, tag), sum.Fanout(anchor, dewey.Child, tag); got != want {
+				t.Fatalf("child fanout %s->%s: synopsis %v, estimate %v", anchor, tag, got, want)
+			}
+			exact := s.Fanout(anchor, dewey.Descendant, tag)
+			markov := sum.Fanout(anchor, dewey.Descendant, tag)
+			if exact > 0 && markov <= 0 {
+				t.Fatalf("descendant fanout %s->%s: exact %v but Markov %v", anchor, tag, exact, markov)
+			}
+		}
+	}
+}
+
+// TestSelfPredicate covers the Self axis corner of Predicate.
+func TestSelfPredicate(t *testing.T) {
+	doc := xmarkDoc(t, 30)
+	s := Build(doc)
+	st, ok := s.Predicate("item", dewey.Self, "item")
+	if !ok || st.Satisfying != s.TagCount("item") || st.MaxTF != 1 {
+		t.Fatalf("self predicate = %+v ok=%v", st, ok)
+	}
+	st, ok = s.Predicate("item", dewey.Self, "text")
+	if !ok || st.Satisfying != 0 {
+		t.Fatalf("mismatched self predicate = %+v ok=%v", st, ok)
+	}
+	if _, ok := s.Predicate("item", dewey.FollowingSibling, "item"); ok {
+		t.Fatal("following-sibling must be unsupported")
+	}
+}

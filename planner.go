@@ -1,0 +1,134 @@
+package whirlpool
+
+import (
+	"errors"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/lru"
+	"repro/internal/pattern"
+	"repro/internal/score"
+	"repro/internal/synopsis"
+)
+
+// Synopsis is an annotated structure synopsis of a database — a strong
+// dataguide with per-path counts and per-(path, tag) descendant
+// statistics. It answers the component-predicate statistics queries
+// that scorer and plan construction otherwise compute with index scans
+// (exactly — the synopsis is not an estimate), so planning cost is
+// independent of document size and, on a sharded corpus, requires no
+// per-shard fan-out.
+type Synopsis = synopsis.Synopsis
+
+// QueryPlan is a compiled, cacheable query plan: server plans, a
+// scorer, per-server routing statistics and a cost-based static server
+// order. See Planner.
+type QueryPlan = core.Plan
+
+var errNilQuery = errors.New("whirlpool: nil query")
+
+// CanonicalQueryKey returns the canonical cache identity of a query's
+// shape: queries differing only in predicate declaration order share a
+// key, structurally distinct queries never do.
+func CanonicalQueryKey(q *Query) string { return pattern.CanonicalKey(q) }
+
+// Synopsis returns the database's structure synopsis, built on first
+// use and cached.
+func (db *Database) Synopsis() *Synopsis {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.syn == nil {
+		db.syn = synopsis.Build(db.doc)
+	}
+	return db.syn
+}
+
+// Synopsis returns the corpus synopsis, aggregated from per-shard
+// synopses on first use and cached. It is identical to a whole-document
+// build.
+func (sdb *ShardedDatabase) Synopsis() *Synopsis { return sdb.corpus.Synopsis() }
+
+// Planner compiles and caches query plans. Plans are keyed on the
+// query's canonical shape (predicate order ignored) plus the relaxation
+// mode and normalization, so textual variants of one query share a
+// single compiled plan; construction is deduplicated in flight. All
+// methods are safe for concurrent use.
+type Planner struct {
+	ix    index.Source
+	syn   *Synopsis
+	cache *lru.Cache[string, *QueryPlan]
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewPlanner returns a planner over the database bounded to capacity
+// cached plans.
+func (db *Database) NewPlanner(capacity int) *Planner {
+	return &Planner{ix: db.ix, syn: db.Synopsis(), cache: lru.New[string, *QueryPlan](capacity)}
+}
+
+// NewPlanner returns a planner over the sharded corpus bounded to
+// capacity cached plans. Its plans pre-resolve every value-free
+// predicate's statistics from the merged synopsis, so planning fans no
+// probes out across the shards.
+func (sdb *ShardedDatabase) NewPlanner(capacity int) *Planner {
+	return &Planner{ix: sdb.corpus, syn: sdb.Synopsis(), cache: lru.New[string, *QueryPlan](capacity)}
+}
+
+// PlanFor returns the cached plan for q's canonical shape under the
+// given relaxation and normalization, compiling it on a miss. hit
+// reports whether the plan (or its in-flight build) was already cached.
+//
+// The returned plan is compiled for the canonicalized query — equal for
+// every predicate ordering of q — and engines built from it evaluate
+// plan.Query, so answer Bindings are indexed by the canonical query's
+// node IDs.
+func (p *Planner) PlanFor(q *Query, r Relaxation, norm Normalization) (*QueryPlan, bool, error) {
+	if q == nil {
+		return nil, false, errNilQuery
+	}
+	key := pattern.CanonicalKey(q) + "|relax=" + strconv.Itoa(int(r)) + "|norm=" + strconv.Itoa(int(norm))
+	plan, hit, err := p.cache.GetOrCreate(key, func() (*QueryPlan, error) {
+		cq := pattern.Canonicalize(q)
+		if err := cq.Validate(); err != nil {
+			return nil, err
+		}
+		scorer := score.NewTFIDFWithStats(p.ix, p.syn, cq, norm)
+		return core.CompilePlan(p.ix, p.syn, cq, r, scorer, key)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		p.hits.Add(1)
+	} else {
+		p.misses.Add(1)
+	}
+	return plan, hit, err
+}
+
+// PlannerStats is a point-in-time snapshot of a planner's cache
+// counters.
+type PlannerStats struct {
+	// Hits and Misses count PlanFor calls served from cache vs.
+	// compiled (joining an in-flight compile counts as a hit).
+	Hits, Misses int64
+	// Evictions counts plans evicted for capacity.
+	Evictions int64
+	// Len and Cap are the cache's current size and bound.
+	Len, Cap int
+}
+
+// Stats returns the planner's cache counters.
+func (p *Planner) Stats() PlannerStats {
+	return PlannerStats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.cache.Evictions(),
+		Len:       p.cache.Len(),
+		Cap:       p.cache.Cap(),
+	}
+}

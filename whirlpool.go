@@ -165,6 +165,8 @@ type Database struct {
 	// sharded caches one ShardedDatabase per shard count, built lazily
 	// the first time Options.Shards asks for it.
 	sharded map[int]*ShardedDatabase
+	// syn is the lazily built structure synopsis (see Synopsis).
+	syn *Synopsis
 }
 
 // Load parses an XML document (or forest) from r and indexes it.
@@ -288,6 +290,15 @@ type Options struct {
 	// must be safe for concurrent use (Whirlpool-M emits from several
 	// goroutines).
 	Trace TraceSink
+	// Plan, when non-nil, supplies a precompiled query plan from a
+	// Planner: engines skip server-plan construction and per-predicate
+	// statistics probes, the plan's scorer applies when Scorer is nil,
+	// and its cost-based order is the static-routing default when Order
+	// is nil. The engine evaluates the plan's canonicalized query —
+	// answers are identical to evaluating the original, but Bindings
+	// are indexed by the canonical query's node IDs. The plan must have
+	// been compiled for the same query shape and Relax mode.
+	Plan *QueryPlan
 	// Shards, when above 1, evaluates the query on a sharded execution
 	// layer: the document is partitioned into that many shards of
 	// complete subtrees, each with its own index and engine, all pruning
@@ -318,6 +329,9 @@ func engineConfig(ix index.Source, q *Query, opts Options) (core.Config, error) 
 		k = 10
 	}
 	scorer := opts.Scorer
+	if scorer == nil && opts.Plan != nil {
+		scorer = opts.Plan.Scorer
+	}
 	if scorer == nil {
 		norm := opts.Normalization
 		if norm == score.Raw {
@@ -340,11 +354,33 @@ func engineConfig(ix index.Source, q *Query, opts Options) (core.Config, error) 
 		OpCost:    opts.OpCost,
 		Estimator: opts.Estimator,
 		Trace:     opts.Trace,
+		Plan:      opts.Plan,
 	}, nil
 }
 
-// NewEngine prepares a reusable engine for q under opts.
+// planQuery substitutes the plan's canonicalized query for q when a
+// plan is configured — the plan's node numbering is what its server
+// plans and statistics are indexed by — after checking the plan was
+// compiled for q's shape.
+func planQuery(q *Query, opts Options) (*Query, error) {
+	if opts.Plan == nil || q == nil {
+		return q, nil
+	}
+	pq := opts.Plan.Query
+	if q != pq && pattern.CanonicalKey(q) != pattern.CanonicalKey(pq) {
+		return nil, fmt.Errorf("whirlpool: plan compiled for %s, not %s", pq, q)
+	}
+	return pq, nil
+}
+
+// NewEngine prepares a reusable engine for q under opts. With
+// Options.Plan set, the engine evaluates the plan's canonicalized query
+// (answer-equivalent; Bindings indexed by its node IDs).
 func (db *Database) NewEngine(q *Query, opts Options) (*Engine, error) {
+	q, err := planQuery(q, opts)
+	if err != nil {
+		return nil, err
+	}
 	cfg, err := engineConfig(db.ix, q, opts)
 	if err != nil {
 		return nil, err
@@ -481,6 +517,10 @@ func (sdb *ShardedDatabase) Layout() (parts []ShardInfo, spineNodes int) {
 // scores, only where the work runs. Options.Shards is ignored here: the
 // shard count is the partition's.
 func (sdb *ShardedDatabase) NewEngine(q *Query, opts Options) (*ShardedEngine, error) {
+	q, err := planQuery(q, opts)
+	if err != nil {
+		return nil, err
+	}
 	cfg, err := engineConfig(sdb.corpus, q, opts)
 	if err != nil {
 		return nil, err
