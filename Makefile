@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-baseline test race bench bench-check bench-micro profile experiments experiments-full fuzz clean
+.PHONY: all build vet lint lint-audit lint-baseline test race bench bench-check bench-micro profile experiments experiments-full fuzz clean
 
 all: build vet lint test race
 
@@ -13,18 +13,29 @@ vet:
 	$(GO) vet ./...
 
 # Whirlpool-specific analyzers (arenaescape, atomicfield, ctxpoll,
-# floatscore, goroutineleak, hotalloc, lockguard); `go run
-# ./cmd/whirlpool-lint -list` describes each. Test files are linted
-# too; findings in lint.baseline.json are suppressed, anything fresh
-# fails. SARIF lands in lint.sarif for code-scanning upload. Also
-# usable as `go vet -vettool=$(shell which whirlpool-lint) ./...`.
-lint:
-	$(GO) run ./cmd/whirlpool-lint -tests -sarif lint.sarif ./...
+# deadlinewait, errflow, floatscore, goroutineleak, hotalloc,
+# lockguard, lockorder); `bin/whirlpool-lint -list` describes each.
+# Test files are linted too; findings in lint.baseline.json are
+# suppressed, anything fresh fails. SARIF lands in lint.sarif for
+# code-scanning upload. The binary is built once into bin/ so the
+# suite, the annotation audit, and `go vet -vettool=bin/whirlpool-lint
+# ./...` all reuse it.
+bin/whirlpool-lint: $(shell find cmd/whirlpool-lint internal/analysis -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o $@ ./cmd/whirlpool-lint
+
+lint: bin/whirlpool-lint
+	bin/whirlpool-lint -tests -sarif lint.sarif ./...
+	bin/whirlpool-lint -tests -audit-annotations ./...
+
+# Cross-check every +whirllint annotation: unknown tags and
+# justifications naming symbols that no longer exist fail.
+lint-audit: bin/whirlpool-lint
+	bin/whirlpool-lint -tests -audit-annotations ./...
 
 # Re-bless current findings: rewrites lint.baseline.json. Review the
 # diff — every entry is a known, tolerated finding.
-lint-baseline:
-	$(GO) run ./cmd/whirlpool-lint -tests -update-baseline ./...
+lint-baseline: bin/whirlpool-lint
+	bin/whirlpool-lint -tests -update-baseline ./...
 
 test:
 	$(GO) test ./...
@@ -74,3 +85,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
+	rm -f bin/whirlpool-lint

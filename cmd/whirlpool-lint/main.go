@@ -1,6 +1,6 @@
 // Command whirlpool-lint runs the Whirlpool analyzer suite
-// (internal/analysis): arenaescape, atomicfield, ctxpoll, floatscore,
-// goroutineleak, hotalloc, lockguard.
+// (internal/analysis): arenaescape, atomicfield, ctxpoll, deadlinewait,
+// errflow, floatscore, goroutineleak, hotalloc, lockguard, lockorder.
 //
 // Standalone, over package patterns (exit 1 on non-baselined findings):
 //
@@ -59,8 +59,9 @@ func run(args []string, stdout *os.File) int {
 	sarifPath := fs.String("sarif", "", "write a SARIF 2.1.0 report to this file (\"-\" for stdout)")
 	baselinePath := fs.String("baseline", "lint.baseline.json", "suppression file; findings recorded there do not fail the run (\"\" disables)")
 	updateBaseline := fs.Bool("update-baseline", false, "rewrite the baseline file to the current findings and exit 0")
+	auditAnnotations := fs.Bool("audit-annotations", false, "audit +whirllint annotations instead of running the analyzers: fail on unknown tags and on justifications naming symbols that no longer exist")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: whirlpool-lint [-list] [-tests] [-sarif file] [-baseline file] [-update-baseline] [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: whirlpool-lint [-list] [-tests] [-sarif file] [-baseline file] [-update-baseline] [-audit-annotations] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +103,16 @@ func run(args []string, stdout *os.File) int {
 	}
 	if broken {
 		return 1
+	}
+	if *auditAnnotations {
+		stale := analysis.AuditAnnotations(pkgs)
+		for _, d := range stale {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(stale) > 0 {
+			return 1
+		}
+		return 0
 	}
 	diags, err := analysis.Run(analysis.All(), pkgs)
 	if err != nil {

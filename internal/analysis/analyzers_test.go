@@ -24,6 +24,9 @@ func TestAnalyzers(t *testing.T) {
 		{"floatscore", analysis.FloatScore},
 		{"goroutineleak", analysis.GoroutineLeak},
 		{"ctxpoll", analysis.CtxPoll},
+		{"deadlinewait", analysis.DeadlineWait},
+		{"errflow", analysis.ErrFlow},
+		{"lockorder", analysis.LockOrder},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -46,7 +49,7 @@ func TestRegistry(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, ",")
-	want := "arenaescape,atomicfield,ctxpoll,floatscore,goroutineleak,hotalloc,lockguard"
+	want := "arenaescape,atomicfield,ctxpoll,deadlinewait,errflow,floatscore,goroutineleak,hotalloc,lockguard,lockorder"
 	if got != want {
 		t.Fatalf("All() = %s, want %s", got, want)
 	}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Annotation auditing. Every `+whirllint:<tag>` escape hatch in the
+// tree is a small debt note: it names a tag an analyzer honours and
+// (for the tags that require one) a justification explaining why the
+// suppressed pattern is safe. Both halves rot. A tag can outlive the
+// analyzer vocabulary, and a justification that says "the caller
+// holds s.mu via AcquireShard" keeps suppressing the finding long
+// after AcquireShard was renamed away. AuditAnnotations re-validates
+// the notes: unknown tags are reported, and any code-shaped token in
+// a justification (pkg.Name, Type.Method, name()) must still resolve
+// to a symbol in the analyzed packages or their imports.
+
+// knownTags maps each honoured annotation tag to the analyzer (or
+// analyzers) that consult it.
+var knownTags = map[string]string{
+	"allocok":    "hotalloc",
+	"busywait":   "ctxpoll",
+	"errok":      "errflow",
+	"exactscore": "floatscore",
+	"hotpath":    "arenaescape, hotalloc",
+	"locked":     "lockguard, lockorder",
+	"lockorder":  "lockorder",
+	"managed":    "goroutineleak",
+	"matchowner": "atomicfield",
+	"nodeadline": "deadlinewait",
+	"seqlocked":  "atomicfield, lockguard",
+}
+
+// AuditAnnotations scans every comment in the loaded packages for
+// +whirllint annotations and returns a diagnostic for each stale one:
+// a tag no analyzer honours, or a justification naming a symbol that
+// no longer exists. Diagnostics are sorted by position.
+func AuditAnnotations(pkgs []*Package) []Diagnostic {
+	idx := buildSymbolIndex(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(line, annotationPrefix)
+					if !ok {
+						continue
+					}
+					tag, justif, _ := strings.Cut(rest, " ")
+					report := func(format string, args ...any) {
+						diags = append(diags, Diagnostic{
+							Analyzer: "annotations",
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Message:  fmt.Sprintf(format, args...),
+						})
+					}
+					if tag == "" {
+						report("bare %s annotation names no tag — write %s<tag>", annotationPrefix, annotationPrefix)
+						continue
+					}
+					if _, known := knownTags[tag]; !known {
+						report("%s%s is not a tag any analyzer honours (known tags: %s)",
+							annotationPrefix, tag, knownTagList())
+						continue
+					}
+					for _, token := range codeTokens(justif) {
+						if !idx.resolves(token) {
+							report("justification for %s%s references %s, which no longer resolves to any symbol in the analyzed packages — update the note",
+								annotationPrefix, tag, token)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+func knownTagList() string {
+	tags := make([]string, 0, len(knownTags))
+	for t := range knownTags {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return strings.Join(tags, ", ")
+}
+
+// symbolIndex answers "does this name still exist somewhere?" for the
+// loaded packages and their direct imports.
+type symbolIndex struct {
+	// qualified holds "pkgname.Name" and "Type.Member" pairs.
+	qualified map[string]bool
+	// names holds every bare identifier: package-level names, method
+	// names, and struct field names.
+	names map[string]bool
+}
+
+func buildSymbolIndex(pkgs []*Package) *symbolIndex {
+	idx := &symbolIndex{
+		qualified: make(map[string]bool),
+		names:     make(map[string]bool),
+	}
+	seen := make(map[*types.Package]bool)
+	var addPkg func(p *types.Package, withImports bool)
+	addPkg = func(p *types.Package, withImports bool) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			idx.qualified[p.Name()+"."+name] = true
+			idx.names[name] = true
+			obj := scope.Lookup(name)
+			tn, ok := obj.(*types.TypeName)
+			if !ok {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				idx.qualified[tn.Name()+"."+m.Name()] = true
+				idx.names[m.Name()] = true
+			}
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					idx.qualified[tn.Name()+"."+f.Name()] = true
+					idx.names[f.Name()] = true
+				}
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				for i := 0; i < iface.NumMethods(); i++ {
+					m := iface.Method(i)
+					idx.qualified[tn.Name()+"."+m.Name()] = true
+					idx.names[m.Name()] = true
+				}
+			}
+		}
+		if withImports {
+			for _, imp := range p.Imports() {
+				addPkg(imp, false)
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		addPkg(pkg.Types, true)
+	}
+	// Local identifiers referenced in justifications ("the ready channel
+	// is closed exactly once") are usually receivers and parameters;
+	// index function-local defs too so they don't read as stale.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if pkg.Info.Defs[id] != nil {
+						idx.names[id.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// resolves reports whether a code-shaped token still names something.
+// Dotted tokens resolve through the qualified index or — to tolerate
+// value-qualified prose like "ctx.Done" where ctx is a local — via the
+// final segment's bare name; call-shaped tokens via the bare name.
+func (idx *symbolIndex) resolves(token string) bool {
+	token = strings.TrimSuffix(token, "()")
+	if idx.qualified[token] {
+		return true
+	}
+	parts := strings.Split(token, ".")
+	last := parts[len(parts)-1]
+	if len(parts) >= 2 {
+		if idx.qualified[parts[len(parts)-2]+"."+last] {
+			return true
+		}
+	}
+	return idx.names[last]
+}
+
+// codeTokens extracts the tokens in a justification that look like
+// code references: dotted paths (pkg.Name, Type.Method) and explicit
+// calls (name()). Plain prose words are not audited.
+func codeTokens(justif string) []string {
+	var out []string
+	fields := strings.FieldsFunc(justif, func(r rune) bool {
+		return !(r == '.' || r == '(' || r == ')' || r == '_' ||
+			r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	})
+	for _, f := range fields {
+		call := strings.HasSuffix(f, "()")
+		f = strings.TrimSuffix(f, "()")
+		f = strings.Trim(f, ".")
+		if f == "" || strings.ContainsAny(f, "()") {
+			continue
+		}
+		if !call && !strings.Contains(f, ".") {
+			continue // bare prose word
+		}
+		// A dotted token must look like identifiers, not an ellipsis or
+		// a version number.
+		valid := true
+		for _, part := range strings.Split(f, ".") {
+			if part == "" || part[0] >= '0' && part[0] <= '9' {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAuditAnnotations runs the annotation auditor over its golden
+// package: stale symbol references, unknown tags, and bare annotations
+// are reported; healthy and prose-only notes are not.
+func TestAuditAnnotations(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "audit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := AuditAnnotations(pkgs)
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	wants := []string{
+		"store.Acquire, which no longer resolves",
+		"+whirllint:nosuchtag is not a tag any analyzer honours",
+		"bare +whirllint: annotation names no tag",
+	}
+	if len(got) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(wants), strings.Join(got, "\n"))
+	}
+	for _, want := range wants {
+		found := false
+		for _, msg := range got {
+			if strings.Contains(msg, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q in:\n%s", want, strings.Join(got, "\n"))
+		}
+	}
+}
+
+// TestAuditAnnotationsCleanTree is the acceptance gate for the repo's
+// own notes: every committed +whirllint annotation must name a known
+// tag and resolve the symbols its justification cites.
+func TestAuditAnnotationsCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range AuditAnnotations(pkgs) {
+		t.Errorf("stale annotation: %s", d)
+	}
+}

@@ -77,9 +77,12 @@ func LoadBaseline(path string) (*Baseline, error) {
 	return b, nil
 }
 
-// Save writes the baseline, sorted for stable diffs.
+// Save writes the baseline, sorted for stable diffs. An empty baseline
+// serializes as "entries": [] — never null — so a clean tree's file is
+// identical no matter whether it was produced from a nil or an empty
+// entry map.
 func (b *Baseline) Save(path string) error {
-	f := baselineFile{Version: 1}
+	f := baselineFile{Version: 1, Entries: []baselineEntry{}}
 	for k, n := range b.entries {
 		f.Entries = append(f.Entries, baselineEntry{baselineKey: k, Count: n})
 	}

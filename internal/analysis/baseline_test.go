@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBaselineEmptySerialization pins the clean-tree wire form: an
+// empty baseline must serialize "entries" as [], not null, so the
+// committed lint.baseline.json is byte-stable regardless of whether it
+// was rewritten from a nil or an emptied map.
+func TestBaselineEmptySerialization(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := NewBaseline(nil, "").Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "null") {
+		t.Fatalf("empty baseline serialized a null: %s", data)
+	}
+	if !strings.Contains(string(data), `"entries": []`) {
+		t.Fatalf("empty baseline must serialize entries as []: %s", data)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("reloaded empty baseline has %d entries", b.Len())
+	}
+}
+
+// TestBaselineRoundTrip checks Save/Load preserve counts and that the
+// entry order on disk is deterministic.
+func TestBaselineRoundTrip(t *testing.T) {
+	diag := func(analyzer, file, msg string) Diagnostic {
+		return Diagnostic{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: file, Line: 1, Column: 1},
+			Message:  msg,
+		}
+	}
+	diags := []Diagnostic{
+		diag("lockorder", "b.go", "cycle"),
+		diag("errflow", "a.go", "dropped"),
+		diag("errflow", "a.go", "dropped"), // same key twice: counted
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := NewBaseline(diags, "").Save(path); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("round-tripped Len = %d, want 3", b.Len())
+	}
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("baseline serialization is not stable:\n%s\nvs\n%s", first, second)
+	}
+
+	fresh, old, _ := b.Filter(append(diags, diag("errflow", "a.go", "dropped")), "")
+	if len(old) != 3 || len(fresh) != 1 {
+		t.Fatalf("Filter budget: fresh=%d old=%d, want 1/3", len(fresh), len(old))
+	}
+}

@@ -1,0 +1,530 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and solves forward dataflow problems over them. It is
+// the foundation the path-sensitive whirllint analyzers (lockorder,
+// errflow, deadlinewait) share: the per-statement AST walks of the
+// earlier suite cannot tell "checked on every path" from "checked
+// somewhere in the body", and the engine's invariants — lock
+// acquisition order, error propagation, deadline consultation — are
+// all path properties.
+//
+// The graph is deliberately syntax-only (no go/types): a Block holds
+// the flat statements and condition expressions executed in order, and
+// edges model if/for/range/switch/select branching, break/continue/
+// goto/labels, and returns. Deferred calls are recorded on the Graph
+// (they run at function exit, whichever path reaches it); calls that
+// provably never return (panic, os.Exit, (*testing.T).Fatal, ...)
+// terminate their block with no successors, so diverging paths do not
+// pollute the facts that reach Exit.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of nodes: all execute in order, and
+// control leaves only at the end, to one of Succs. The node list holds
+// "flat" nodes — simple statements and the condition/tag expressions
+// of the enclosing control statement — never a statement with a nested
+// body; use Inspect to walk a node without straying into a nested
+// function literal.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes are the flat statements and expressions of the block, in
+	// execution order.
+	Nodes []ast.Node
+	// Succs are the possible successors. A reachable block with no
+	// successors (other than Exit) diverges: it ends in a call that
+	// never returns.
+	Succs []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the first block executed; Exit is the single synthetic
+	// block every return (and the fall-off-the-end path) leads to. Exit
+	// has no nodes of its own.
+	Entry, Exit *Block
+	// Blocks lists every block, Entry first. Blocks unreachable from
+	// Entry (code after an unconditional terminator) are still present.
+	Blocks []*Block
+	// Defers are the DeferStmts of the body in source order. The
+	// deferred calls run when control reaches Exit; their argument
+	// expressions were evaluated at the DeferStmt's place in its block.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the control-flow graph of a function body. mayReturn, if
+// non-nil, overrides the built-in never-returns classifier for call
+// expressions: returning false marks the call as terminating its path
+// (panic-like). Passing nil uses the default classifier, which knows
+// panic, os.Exit, runtime.Goexit, log.Fatal*, and testing's
+// Fatal/FailNow/Skip methods.
+func New(body *ast.BlockStmt, mayReturn func(*ast.CallExpr) bool) *Graph {
+	if mayReturn == nil {
+		mayReturn = defaultMayReturn
+	}
+	b := &builder{
+		g:         &Graph{},
+		mayReturn: mayReturn,
+		labels:    make(map[string]*labelTarget),
+	}
+	b.g.Exit = &Block{} // patched into Blocks last, with the final index
+	entry := b.newBlock()
+	b.g.Entry = entry
+	b.cur = entry
+	b.stmtList(body.List)
+	// Fall off the end of the body: an implicit return.
+	b.jump(b.g.Exit)
+	// Unresolved gotos (target label after the goto) were patched as
+	// encountered; any still-pending ones point at code that does not
+	// exist — ill-formed source — and are dropped.
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+// Inspect walks the subtree rooted at n in depth-first order, calling f
+// for each node, but does not descend into nested *ast.FuncLit bodies:
+// a closure's statements belong to the closure's own graph, not to the
+// enclosing function's blocks.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// labelTarget resolves a label to the jump targets its statement
+// offers.
+type labelTarget struct {
+	// start is the labeled statement's first block (the goto target);
+	// nil until the label's statement has been built.
+	start *Block
+	// breakTo / continueTo are set while the labeled loop or switch is
+	// being built.
+	breakTo, continueTo *Block
+	// pending are goto sources seen before the label's statement.
+	pending []*Block
+}
+
+type builder struct {
+	g         *Graph
+	mayReturn func(*ast.CallExpr) bool
+	// cur is the block under construction; nil after a terminator
+	// (return, break, panic) until the next statement opens a fresh —
+	// unreachable — block.
+	cur    *Block
+	labels map[string]*labelTarget
+	// loop stack for unlabeled break/continue; switch/select push a
+	// breakTo with a nil continueTo.
+	loops []loopFrame
+	// label pending attachment to the next loop/switch statement.
+	curLabel *labelTarget
+}
+
+type loopFrame struct {
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// block returns the block under construction, opening a fresh
+// (unreachable) one after a terminator so trailing dead code is still
+// represented.
+func (b *builder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// jump ends the current block with an edge to target.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+	}
+	b.cur = nil
+}
+
+// branch adds an edge to target without ending the block (the other
+// branch continues).
+func (b *builder) branchTo(from, target *Block) {
+	from.Succs = append(from.Succs, target)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.block()
+		b.cur = nil
+		thenBlk := b.newBlock()
+		b.branchTo(head, thenBlk)
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		afterThen := b.cur // nil if the then-branch terminated
+		b.cur = nil
+		var afterElse *Block
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.branchTo(head, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			afterElse = b.cur
+			b.cur = nil
+		}
+		join := b.newBlock()
+		if s.Else == nil {
+			b.branchTo(head, join)
+		}
+		if afterThen != nil {
+			b.branchTo(afterThen, join)
+		}
+		if afterElse != nil {
+			b.branchTo(afterElse, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.jumpOrLink(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		head = b.block() // cond may have been added to head
+		body := b.newBlock()
+		post := b.newBlock()
+		exit := b.newBlock()
+		b.branchTo(head, body)
+		if s.Cond != nil {
+			b.branchTo(head, exit)
+		}
+		b.setLabel(label, head, exit, post)
+		b.pushLoop(exit, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(post)
+		b.popLoop()
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.jump(head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		b.jumpOrLink(head)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.branchTo(head, body)
+		b.branchTo(head, exit)
+		b.setLabel(label, head, exit, head)
+		b.pushLoop(exit, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(head)
+		b.popLoop()
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildSwitchBody(label, s.Body, func(c *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, 0, len(c.List))
+			for _, e := range c.List {
+				nodes = append(nodes, e)
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.buildSwitchBody(label, s.Body, func(*ast.CaseClause) []ast.Node { return nil })
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.block()
+		b.cur = nil
+		exit := b.newBlock()
+		b.setLabel(label, head, exit, nil)
+		b.pushSwitch(exit)
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			clause := b.newBlock()
+			b.branchTo(head, clause)
+			b.cur = clause
+			if comm.Comm != nil {
+				b.add(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.jump(exit)
+		}
+		// Control always leaves through a clause, so head gets no
+		// direct edge to exit; a clauseless select{} blocks forever and
+		// head diverges.
+		b.popLoop()
+		b.cur = exit
+
+	case *ast.LabeledStmt:
+		lt := b.label(s.Label.Name)
+		start := b.block()
+		// If the labeled statement opens a fresh construct, the label's
+		// start is the current block; resolve pending gotos to it.
+		lt.start = start
+		for _, src := range lt.pending {
+			b.branchTo(src, start)
+		}
+		lt.pending = nil
+		b.curLabel = lt
+		b.stmt(s.Stmt)
+		b.curLabel = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil && lt.breakTo != nil {
+					b.jump(lt.breakTo)
+					return
+				}
+			} else if t := b.breakTarget(); t != nil {
+				b.jump(t)
+				return
+			}
+			b.cur = nil // malformed; sever the path
+		case token.CONTINUE:
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil && lt.continueTo != nil {
+					b.jump(lt.continueTo)
+					return
+				}
+			} else if t := b.continueTarget(); t != nil {
+				b.jump(t)
+				return
+			}
+			b.cur = nil
+		case token.GOTO:
+			lt := b.label(s.Label.Name)
+			if lt.start != nil {
+				b.jump(lt.start)
+			} else {
+				// Forward goto: link once the label is built.
+				src := b.block()
+				lt.pending = append(lt.pending, src)
+				b.cur = nil
+			}
+		case token.FALLTHROUGH:
+			// Handled structurally by buildSwitchBody.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && !b.mayReturn(call) {
+			b.cur = nil // diverges: no successors
+		}
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		b.add(s)
+	}
+}
+
+// buildSwitchBody lowers the clause list shared by expression and type
+// switches. caseNodes extracts the flat expressions a clause evaluates
+// (its comparison list; empty for type switches and default).
+func (b *builder) buildSwitchBody(label *labelTarget, body *ast.BlockStmt, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.block()
+	b.cur = nil
+	exit := b.newBlock()
+	b.setLabel(label, head, exit, nil)
+	b.pushSwitch(exit)
+	clauses := body.List
+	hasDefault := false
+	// Pre-create clause bodies so fallthrough can link clause i to i+1.
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	for i, raw := range clauses {
+		c := raw.(*ast.CaseClause)
+		if c.List == nil {
+			hasDefault = true
+		}
+		b.branchTo(head, blocks[i])
+		b.cur = blocks[i]
+		for _, n := range caseNodes(c) {
+			b.add(n)
+		}
+		falls := false
+		for _, s := range c.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			b.stmt(s)
+		}
+		if falls && i+1 < len(clauses) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(exit)
+		}
+	}
+	if !hasDefault {
+		b.branchTo(head, exit)
+	}
+	b.popLoop()
+	b.cur = exit
+}
+
+// jumpOrLink ends the current block into target, or — when the current
+// path already terminated — leaves target unreachable.
+func (b *builder) jumpOrLink(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+		b.cur = nil
+	}
+}
+
+func (b *builder) pushLoop(breakTo, continueTo *Block) {
+	b.loops = append(b.loops, loopFrame{breakTo: breakTo, continueTo: continueTo})
+}
+
+func (b *builder) pushSwitch(breakTo *Block) {
+	b.loops = append(b.loops, loopFrame{breakTo: breakTo})
+}
+
+func (b *builder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *builder) breakTarget() *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].breakTo != nil {
+			return b.loops[i].breakTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) continueTarget() *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].continueTo != nil {
+			return b.loops[i].continueTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) label(name string) *labelTarget {
+	lt := b.labels[name]
+	if lt == nil {
+		lt = &labelTarget{}
+		b.labels[name] = lt
+	}
+	return lt
+}
+
+func (b *builder) takeLabel() *labelTarget {
+	lt := b.curLabel
+	b.curLabel = nil
+	return lt
+}
+
+func (b *builder) setLabel(lt *labelTarget, start, breakTo, continueTo *Block) {
+	if lt == nil {
+		return
+	}
+	if lt.start == nil {
+		lt.start = start
+	}
+	lt.breakTo = breakTo
+	lt.continueTo = continueTo
+}
+
+// defaultMayReturn reports whether a call can return to its caller.
+// It recognizes the stdlib's unconditional terminators plus testing's
+// goroutine-exiting methods by name, without type information — good
+// enough for dataflow precision, never for a diagnostic by itself.
+func defaultMayReturn(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name != "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch pkg.Name {
+			case "os":
+				return name != "Exit"
+			case "runtime":
+				return name != "Goexit"
+			case "log":
+				return name != "Fatal" && name != "Fatalf" && name != "Fatalln" &&
+					name != "Panic" && name != "Panicf" && name != "Panicln"
+			}
+		}
+		// Methods that exit the calling goroutine: testing.T/B/F and
+		// friends. Matching by name alone risks sparing a same-named
+		// user method from dataflow — acceptable: the effect is only a
+		// severed path, never a report.
+		switch name {
+		case "Fatal", "Fatalf", "FailNow", "SkipNow", "Skipf", "Skip":
+			return false
+		}
+	}
+	return true
+}

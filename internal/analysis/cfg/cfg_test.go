@@ -1,0 +1,276 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildGraph parses src (a file body) and returns the graph of the
+// function named name.
+func buildGraph(t *testing.T, src, name string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body, nil), fset
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// reachable returns the blocks reachable from Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g, _ := buildGraph(t, `func f() { a(); b(); c() }`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable in straight-line function")
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+}
+
+func TestIfJoin(t *testing.T) {
+	g, _ := buildGraph(t, `func f(c bool) { if c { a() } else { b() }; d() }`, "f")
+	// Entry (cond) must have two successors; both paths reach Exit.
+	head := g.Entry
+	if len(head.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2", len(head.Succs))
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g, _ := buildGraph(t, `func f(n int) { for i := 0; i < n; i++ { a() }; b() }`, "f")
+	// Some block must have a back edge (successor with a lower index).
+	back := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != g.Exit {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("no back edge in for loop")
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestUnboundedLoopNoExit(t *testing.T) {
+	g, _ := buildGraph(t, `func f() { for { a() } }`, "f")
+	if reachable(g)[g.Exit] {
+		t.Fatal("for{} loop must not reach exit")
+	}
+}
+
+func TestBreakReachesExit(t *testing.T) {
+	g, _ := buildGraph(t, `func f() { for { if done() { break }; a() } }`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("break must open a path to exit")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g, _ := buildGraph(t, `func f() {
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	a()
+}`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("labeled break must escape both loops")
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g, _ := buildGraph(t, `func f() {
+loop:
+	a()
+	goto loop
+}`, "f")
+	if reachable(g)[g.Exit] {
+		t.Fatal("unconditional backward goto must not reach exit")
+	}
+}
+
+func TestPanicDiverges(t *testing.T) {
+	g, _ := buildGraph(t, `func f(c bool) { if c { panic("x") }; a() }`, "f")
+	// The panic path must not flow into the join: exactly one path
+	// (the non-panicking one) reaches Exit.
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if len(b.Succs) != 0 {
+					t.Fatalf("panic block has %d successors, want 0", len(b.Succs))
+				}
+			}
+		}
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g, _ := buildGraph(t, `func f(a, b chan int) {
+	select {
+	case <-a:
+		x()
+	case v := <-b:
+		_ = v
+	}
+	y()
+}`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The select head must branch to both clauses.
+	found := false
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 2 && b != g.Entry {
+			found = true
+		}
+	}
+	if !found && len(g.Entry.Succs) != 2 {
+		t.Fatal("select head does not branch to its clauses")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g, _ := buildGraph(t, `func f(x int) {
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+}`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestDefersRecorded(t *testing.T) {
+	g, _ := buildGraph(t, `func f() { defer a(); defer b(); c() }`, "f")
+	if len(g.Defers) != 2 {
+		t.Fatalf("recorded %d defers, want 2", len(g.Defers))
+	}
+}
+
+// TestMustAnalysis solves a tiny must-consult problem: "was mark()
+// called on every path?" — the lattice shared by the deadlinewait
+// analyzer.
+func TestMustAnalysis(t *testing.T) {
+	run := func(src string) bool {
+		g, _ := buildGraph(t, src, "f")
+		fl := &Flow[bool]{
+			EntryFact: false,
+			Merge:     func(a, b bool) bool { return a && b },
+			Equal:     func(a, b bool) bool { return a == b },
+			Node: func(n ast.Node, in bool) bool {
+				if in {
+					return true
+				}
+				found := false
+				Inspect(n, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+							found = true
+						}
+					}
+					return true
+				})
+				return found
+			},
+		}
+		in := fl.Forward(g)
+		v, ok := in[g.Exit]
+		return ok && v
+	}
+
+	if !run(`func f(c bool) { if c { mark() } else { mark() }; a() }`) {
+		t.Error("mark on both branches: want consulted at exit")
+	}
+	if run(`func f(c bool) { if c { mark() }; a() }`) {
+		t.Error("mark on one branch only: want not consulted at exit")
+	}
+	if !run(`func f(c bool) { if c { panic("x") }; mark() }`) {
+		t.Error("panic path must not dilute the must-fact")
+	}
+}
+
+// TestInspectSkipsFuncLit pins the closure boundary: a node walk must
+// not descend into nested function literals.
+func TestInspectSkipsFuncLit(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package p
+func f() { g := func() { inner() }; g() }`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncDecl); ok {
+			return true
+		}
+		return true
+	})
+	fd := f.Decls[0].(*ast.FuncDecl)
+	Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				calls = append(calls, id.Name)
+			}
+		}
+		return true
+	})
+	joined := strings.Join(calls, ",")
+	if strings.Contains(joined, "inner") {
+		t.Fatalf("Inspect descended into a FuncLit: calls = %s", joined)
+	}
+	if !strings.Contains(joined, "g") {
+		t.Fatalf("Inspect missed the enclosing body's call: calls = %s", joined)
+	}
+}

@@ -1,0 +1,70 @@
+package cfg
+
+import "go/ast"
+
+// A Flow describes one forward dataflow problem over a Graph: the
+// lattice (Merge/Equal), the boundary fact at function entry, and the
+// per-node transfer function. The driver computes the fixpoint of
+//
+//	in(b)  = Merge over predecessors p of out(p)   (Entry gets EntryFact)
+//	out(b) = Transfer applied to b's nodes in order, starting from in(b)
+//
+// Facts must be value-ish: Transfer and Merge must return fresh values
+// (or treat their inputs as immutable), because the driver retains and
+// compares previously computed facts across iterations.
+type Flow[F any] struct {
+	// EntryFact is the fact holding at function entry.
+	EntryFact F
+	// Merge combines the facts of two predecessor paths at a join
+	// point. It must be commutative and associative (a join).
+	Merge func(a, b F) F
+	// Equal reports whether two facts are equal; the fixpoint
+	// terminates when no block's input fact changes.
+	Equal func(a, b F) bool
+	// Node is the transfer function for a single flat node.
+	Node func(n ast.Node, in F) F
+}
+
+// Transfer folds a whole block through the per-node transfer.
+func (fl *Flow[F]) Transfer(b *Block, in F) F {
+	for _, n := range b.Nodes {
+		in = fl.Node(n, in)
+	}
+	return in
+}
+
+// Forward solves the dataflow problem and returns the input fact of
+// every reached block, keyed by block. Blocks unreachable from Entry
+// (dead code, or code cut off by a never-returning call) are absent
+// from the map: analyzers must treat a missing entry as "never
+// executed". The input of Graph.Exit merges every returning path; a
+// function whose paths all diverge leaves Exit unmapped.
+func (fl *Flow[F]) Forward(g *Graph) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = fl.EntryFact
+	// Worklist seeded with Entry; FIFO order is fine at these sizes
+	// (function bodies, tens of blocks).
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := fl.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			next := out
+			if cur, ok := in[s]; ok {
+				next = fl.Merge(cur, out)
+				if fl.Equal(cur, next) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/cfg"
+)
+
+// DeadlineWait reports blocking operations in context-aware functions
+// that can outlive the context's deadline. A function that takes a
+// context.Context advertises that callers can bound or cancel it; a
+// bare channel send or receive, a WaitGroup/Cond Wait, a select with
+// neither a default nor a ctx case, or an unbounded loop that never
+// touches the context breaks that contract — the caller's deadline
+// expires and the goroutine keeps sitting on the operation. In
+// whirlpoold that shape turns one slow shard into a stuck query: the
+// executor's deadline fires, the caller gives up, and the worker
+// blocks forever on a channel nobody reads anymore.
+//
+// The analysis is a forward must-dataflow over the function's CFG:
+// the fact is "every path from entry to here has consulted the
+// context" — called Done/Err/Deadline, passed a ctx value into a call
+// (delegation: cancelling the ctx unblocks whatever we wait on), or
+// captured it in a function literal. A blocking operation is reported
+// only when some path reaches it without any consultation and the
+// operation itself does not involve a ctx value. That keeps the
+// fan-out/Wait pattern clean — runPooled hands runCtx to every worker
+// before wg.Wait(), so cancellation drains the pool and Wait returns.
+//
+// Functions that block deliberately (a shutdown rendezvous, a
+// generator driven solely by channel close) are annotated
+//
+//	// +whirllint:nodeadline <justification>
+//
+// on the declaration; the justification is mandatory.
+var DeadlineWait = &Analyzer{
+	Name: "deadlinewait",
+	Doc:  "report blocking operations that a context-aware function can sit on after its context's deadline has expired",
+	Run:  runDeadlineWait,
+}
+
+func runDeadlineWait(pass *Pass) error {
+	for _, decl := range funcDecls(pass) {
+		if decl.Body == nil {
+			continue
+		}
+		ok, justif := funcAnnotation(decl, "nodeadline")
+		if ok {
+			if justif == "" {
+				pass.Reportf(decl.Name.Pos(),
+					"%snodeadline on %s needs a justification on the same line (why may this block past the deadline?)",
+					annotationPrefix, decl.Name.Name)
+			}
+			continue
+		}
+		if params := ctxParams(pass, decl.Type); len(params) > 0 {
+			analyzeDeadlineWait(pass, decl.Body)
+		}
+		// Function literals with their own ctx parameter (worker bodies,
+		// callbacks) get their own graphs. An annotated declaration
+		// (handled above) covers everything inside it.
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				if params := ctxParams(pass, lit.Type); len(params) > 0 {
+					analyzeDeadlineWait(pass, lit.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxParams returns the identifiers of parameters typed
+// context.Context.
+func ctxParams(pass *Pass, ft *ast.FuncType) []*ast.Ident {
+	var out []*ast.Ident
+	if ft.Params == nil {
+		return out
+	}
+	for _, f := range ft.Params.List {
+		for _, name := range f.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isNamedType(obj.Type(), "context", "Context") {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+type deadlineWait struct {
+	pass *Pass
+	// ctxObjs is every context.Context-typed variable in the function:
+	// the parameter plus anything derived from it (WithCancel results
+	// and the like). Touching any of them counts as consulting.
+	ctxObjs map[types.Object]bool
+	// selectOf maps each comm statement to its enclosing select, so a
+	// send/receive that is a select arm is judged as part of the select,
+	// not as a bare blocking op.
+	selectOf map[ast.Node]*ast.SelectStmt
+	// safeSelect marks selects that cannot hang past the deadline: they
+	// have a default clause or an arm involving a ctx value.
+	safeSelect map[*ast.SelectStmt]bool
+	// rangeChan maps the range expression node of a channel-range loop
+	// (the only node the CFG emits for it) back to the RangeStmt.
+	rangeChan map[ast.Node]*ast.RangeStmt
+}
+
+func analyzeDeadlineWait(pass *Pass, body *ast.BlockStmt) {
+	dw := &deadlineWait{
+		pass:       pass,
+		ctxObjs:    make(map[types.Object]bool),
+		selectOf:   make(map[ast.Node]*ast.SelectStmt),
+		safeSelect: make(map[*ast.SelectStmt]bool),
+		rangeChan:  make(map[ast.Node]*ast.RangeStmt),
+	}
+	dw.index(body)
+
+	g := cfg.New(body, nil)
+	flow := &cfg.Flow[bool]{
+		EntryFact: false,
+		Merge:     func(a, b bool) bool { return a && b },
+		Equal:     func(a, b bool) bool { return a == b },
+		Node: func(n ast.Node, in bool) bool {
+			return in || dw.mentionsCtx(n)
+		},
+	}
+	in := flow.Forward(g)
+
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var findings []finding
+	reportedSelect := make(map[*ast.SelectStmt]bool)
+	for _, b := range g.Blocks {
+		state, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			if !state {
+				if pos, msg := dw.blockingOp(n, reportedSelect); msg != "" {
+					findings = append(findings, finding{pos, msg})
+				}
+			}
+			state = state || dw.mentionsCtx(n)
+		}
+	}
+	// Unbounded loops that provably never exit and never touch a ctx
+	// value run forever no matter what the deadline says; path state is
+	// irrelevant, so they are checked on the syntax directly.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed separately (if it takes a ctx at all)
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if dw.mentionsCtx(loop.Body) || loopCanEscape(loop.Body, true) {
+			return true
+		}
+		findings = append(findings, finding{loop.Pos(),
+			"unbounded for-loop never consults ctx and has no exit"})
+		return true
+	})
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	seen := make(map[token.Pos]bool)
+	for _, f := range findings {
+		if seen[f.pos] {
+			continue
+		}
+		seen[f.pos] = true
+		pass.Reportf(f.pos,
+			"%s, but this function takes a context — after the deadline expires this blocks forever; select on ctx.Done(), pass ctx to the other side, or annotate the function %snodeadline with a justification",
+			f.msg, annotationPrefix)
+	}
+}
+
+// index pre-walks the body once: collects every ctx-typed variable,
+// maps select arms to their selects, and classifies selects as safe.
+func (dw *deadlineWait) index(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := dw.pass.TypesInfo.Defs[n]
+			if obj == nil {
+				obj = dw.pass.TypesInfo.Uses[n]
+			}
+			if obj != nil && isNamedType(obj.Type(), "context", "Context") {
+				dw.ctxObjs[obj] = true
+			}
+		case *ast.SelectStmt:
+			safe := false
+			for _, c := range n.Body.List {
+				comm := c.(*ast.CommClause)
+				if comm.Comm == nil {
+					safe = true // default clause: non-blocking
+					continue
+				}
+				dw.selectOf[comm.Comm] = n
+			}
+			dw.safeSelect[n] = safe
+		case *ast.RangeStmt:
+			if t := dw.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					dw.rangeChan[n.X] = n
+				}
+			}
+		}
+		return true
+	})
+	// Second pass: an arm that involves a ctx value (case <-ctx.Done())
+	// makes its select safe. ctxObjs is complete by now.
+	for comm, sel := range dw.selectOf {
+		if dw.mentionsCtx(comm) {
+			dw.safeSelect[sel] = true
+		}
+	}
+}
+
+// mentionsCtx reports whether n references any ctx-typed variable,
+// including inside nested function literals — handing ctx to a
+// goroutine body counts as consultation.
+func (dw *deadlineWait) mentionsCtx(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := dw.pass.TypesInfo.Uses[id]; obj != nil && dw.ctxObjs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// blockingOp classifies one flat CFG node. It returns a position and
+// description when the node blocks on an external event without
+// involving a ctx value, or "" otherwise.
+func (dw *deadlineWait) blockingOp(n ast.Node, reportedSelect map[*ast.SelectStmt]bool) (token.Pos, string) {
+	// A select arm stands for the whole select: judge the select once.
+	if sel, ok := dw.selectOf[n]; ok {
+		if dw.safeSelect[sel] || reportedSelect[sel] {
+			return token.NoPos, ""
+		}
+		reportedSelect[sel] = true
+		return sel.Pos(), "this select has no default clause and no ctx arm"
+	}
+	if dw.mentionsCtx(n) {
+		return token.NoPos, "" // e.g. <-ctx.Done() itself
+	}
+	if rng, ok := dw.rangeChan[n]; ok {
+		return rng.Pos(), "ranging over a channel blocks until the sender closes it"
+	}
+	var pos token.Pos
+	var msg string
+	cfg.Inspect(n, func(n ast.Node) bool {
+		if msg != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pos, msg = n.Arrow, "this channel send blocks until a receiver is ready"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, msg = n.OpPos, "this channel receive blocks until a sender is ready"
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				t := dw.pass.TypesInfo.TypeOf(sel.X)
+				if isNamedType(t, "sync", "WaitGroup") {
+					pos, msg = n.Pos(), "WaitGroup.Wait blocks until every worker calls Done"
+				} else if isNamedType(t, "sync", "Cond") {
+					pos, msg = n.Pos(), "Cond.Wait blocks until another goroutine signals"
+				}
+			}
+		}
+		return true
+	})
+	return pos, msg
+}
+
+// loopCanEscape reports whether control can leave the loop whose body
+// is given: a return, a break bound to this loop, a labeled branch or
+// goto (assumed outward), or a diverging call. breakable tracks
+// whether an unlabeled break at the current nesting level still binds
+// our loop.
+func loopCanEscape(n ast.Node, breakable bool) bool {
+	switch n := n.(type) {
+	case nil:
+		return false
+	case *ast.FuncLit:
+		return false
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		if n.Label != nil || n.Tok == token.GOTO {
+			return true // assume it targets outside the loop
+		}
+		return n.Tok == token.BREAK && breakable
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			if loopCanEscape(s, breakable) {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		return loopCanEscape(n.Body, breakable) || loopCanEscape(n.Else, breakable)
+	case *ast.LabeledStmt:
+		return loopCanEscape(n.Stmt, breakable)
+	case *ast.ForStmt:
+		return loopCanEscape(n.Body, false)
+	case *ast.RangeStmt:
+		return loopCanEscape(n.Body, false)
+	case *ast.SwitchStmt:
+		return loopBodyEscapes(n.Body)
+	case *ast.TypeSwitchStmt:
+		return loopBodyEscapes(n.Body)
+	case *ast.SelectStmt:
+		return loopBodyEscapes(n.Body)
+	default:
+		return false
+	}
+}
+
+// loopBodyEscapes scans switch/select clause bodies; unlabeled break
+// inside them binds the switch, not our loop.
+func loopBodyEscapes(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		for _, s := range stmts {
+			if loopCanEscape(s, false) {
+				return true
+			}
+		}
+	}
+	return false
+}

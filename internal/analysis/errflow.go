@@ -1,0 +1,432 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/cfg"
+)
+
+// ErrFlow reports error values that are assigned and then dropped: a
+// definition of an error-typed variable that, on some path through the
+// function, reaches a return (or the next redefinition) without ever
+// being read — not compared against nil, not returned, not logged,
+// not wrapped, not even assigned onward. The Go compiler only rejects
+// a := variable that is never used at all; the shapes that actually
+// ship bugs — an err checked in one branch but not the other, an err
+// overwritten by the next call's result, a named result clobbered
+// with nil on one path — survive compilation, and in whirlpoold they
+// turn failed writes into empty 200s.
+//
+// The analysis is a forward may-dataflow over the function's CFG:
+// each assignment whose source could produce a non-nil error starts a
+// pending definition; any read of the variable retires it; a pending
+// definition reaching the exit or a redefinition is reported at the
+// assignment. Variables captured by a closure or address-taken are
+// not tracked (the closure may check them later); assigning the
+// literal nil retires a pending definition without starting one.
+//
+// Deliberately dropped errors are annotated
+//
+//	// +whirllint:errok <justification>
+//
+// on the enclosing function; the justification is mandatory.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "report error values whose last assignment can reach a return, or be overwritten, without being checked",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) error {
+	for _, decl := range funcDecls(pass) {
+		if decl.Body == nil {
+			continue
+		}
+		ok, justif := funcAnnotation(decl, "errok")
+		if ok {
+			if justif == "" {
+				pass.Reportf(decl.Name.Pos(),
+					"%serrok on %s needs a justification on the same line (why is dropping this error acceptable?)",
+					annotationPrefix, decl.Name.Name)
+			}
+			continue
+		}
+		analyzeErrFlow(pass, decl.Body, namedErrorResults(pass, decl))
+		// Nested function literals get their own graphs; an errok on the
+		// enclosing declaration (handled above) covers them too.
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				analyzeErrFlow(pass, lit.Body, litErrorResults(pass, lit))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errState maps a tracked variable to its pending (unobserved)
+// definition site. Immutable under the dataflow; transfer copies.
+type errState map[types.Object]token.Pos
+
+func analyzeErrFlow(pass *Pass, body *ast.BlockStmt, namedResults map[types.Object]bool) {
+	tracked := trackedErrVars(pass, body)
+	for obj := range namedResults {
+		if isErrorType(obj.Type()) {
+			tracked[obj] = true
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+	// Variables a nested closure reads or whose address escapes may be
+	// checked on a path the CFG cannot see; drop them.
+	for obj := range escapedErrVars(pass, body) {
+		delete(tracked, obj)
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	ef := &errFlow{pass: pass, tracked: tracked, namedResults: namedResults}
+	g := cfg.New(body, nil)
+	flow := &cfg.Flow[errState]{
+		EntryFact: errState{},
+		Merge:     ef.merge,
+		Equal:     equalErrState,
+		Node:      func(n ast.Node, in errState) errState { return ef.transfer(n, in, nil) },
+	}
+	in := flow.Forward(g)
+
+	reports := make(map[token.Pos]string)
+	for _, b := range g.Blocks {
+		state, okb := in[b]
+		if !okb {
+			continue
+		}
+		for _, n := range b.Nodes {
+			state = ef.transfer(n, state, reports)
+		}
+	}
+	// Whatever is still pending at exit was dropped on some returning
+	// path. Pending named results are fine: falling through a bare
+	// return propagates them to the caller.
+	if exit, okb := in[g.Exit]; okb {
+		for obj, pos := range exit {
+			if namedResults[obj] {
+				continue
+			}
+			if _, dup := reports[pos]; !dup {
+				reports[pos] = "reaches a return without being checked"
+			}
+		}
+	}
+
+	positions := make([]token.Pos, 0, len(reports))
+	for pos := range reports {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		pass.Reportf(pos,
+			"error assigned here %s — handle it, return it, or annotate the enclosing function %serrok with a justification",
+			reports[pos], annotationPrefix)
+	}
+}
+
+type errFlow struct {
+	pass         *Pass
+	tracked      map[types.Object]bool
+	namedResults map[types.Object]bool
+}
+
+func (ef *errFlow) merge(a, b errState) errState {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(errState, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if cur, okb := out[k]; !okb || v < cur {
+			out[k] = v // keep the earliest site for determinism
+		}
+	}
+	return out
+}
+
+func equalErrState(a, b errState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, okb := b[k]; !okb || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// transfer applies one flat node: reads retire pending definitions,
+// assignments start (or, for nil, retire) them. When reports is
+// non-nil (the replay walk), a redefinition of a still-pending
+// variable records the overwritten definition.
+func (ef *errFlow) transfer(n ast.Node, in errState, reports map[token.Pos]string) errState {
+	out := in
+	kill := func(obj types.Object) {
+		if _, okb := out[obj]; !okb {
+			return
+		}
+		copied := make(errState, len(out))
+		for k, v := range out {
+			if k != obj {
+				copied[k] = v
+			}
+		}
+		out = copied
+	}
+	uses := func(e ast.Node, skip map[*ast.Ident]bool) {
+		if e == nil {
+			return
+		}
+		cfg.Inspect(e, func(node ast.Node) bool {
+			id, okb := node.(*ast.Ident)
+			if !okb || skip[id] {
+				return true
+			}
+			if obj := ef.pass.TypesInfo.Uses[id]; obj != nil && ef.tracked[obj] {
+				kill(obj)
+			}
+			return true
+		})
+	}
+
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Assigned idents are definitions, not reads; everything else in
+		// the statement is a read.
+		targets := make(map[*ast.Ident]bool)
+		for _, lhs := range n.Lhs {
+			if id, okb := ast.Unparen(lhs).(*ast.Ident); okb {
+				targets[id] = true
+			}
+		}
+		for _, rhs := range n.Rhs {
+			uses(rhs, nil)
+		}
+		for _, lhs := range n.Lhs {
+			if id, okb := ast.Unparen(lhs).(*ast.Ident); okb {
+				_ = id
+				continue
+			}
+			uses(lhs, nil) // x.f = ..., a[i] = ...: reads of x, a, i
+		}
+		for i, lhs := range n.Lhs {
+			id, okb := ast.Unparen(lhs).(*ast.Ident)
+			if !okb || id.Name == "_" {
+				continue
+			}
+			obj := ef.defTarget(id)
+			if obj == nil || !ef.tracked[obj] {
+				continue
+			}
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0]
+			}
+			if prev, pending := out[obj]; pending && reports != nil {
+				if _, dup := reports[prev]; !dup {
+					reports[prev] = "is overwritten below before being checked"
+				}
+			}
+			kill(obj)
+			if rhs != nil && !isNilExpr(ef.pass, rhs) {
+				copied := make(errState, len(out)+1)
+				for k, v := range out {
+					copied[k] = v
+				}
+				copied[obj] = id.Pos()
+				out = copied
+			}
+		}
+
+	case *ast.DeclStmt:
+		if gd, okb := n.Decl.(*ast.GenDecl); okb {
+			for _, spec := range gd.Specs {
+				vs, okb := spec.(*ast.ValueSpec)
+				if !okb {
+					continue
+				}
+				for _, v := range vs.Values {
+					uses(v, nil)
+				}
+				if len(vs.Values) == 0 {
+					continue // zero value: nothing pending
+				}
+				for _, name := range vs.Names {
+					obj := ef.pass.TypesInfo.Defs[name]
+					if obj == nil || !ef.tracked[obj] {
+						continue
+					}
+					copied := make(errState, len(out)+1)
+					for k, v := range out {
+						copied[k] = v
+					}
+					copied[obj] = name.Pos()
+					out = copied
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		if len(n.Results) == 0 {
+			// Bare return: named results propagate to the caller.
+			for obj := range ef.namedResults {
+				kill(obj)
+			}
+		} else {
+			uses(n, nil)
+		}
+
+	default:
+		uses(n, nil)
+	}
+	return out
+}
+
+// defTarget resolves the object an assigned identifier binds: a fresh
+// declaration (:=) or an existing variable (=).
+func (ef *errFlow) defTarget(id *ast.Ident) types.Object {
+	if obj := ef.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return ef.pass.TypesInfo.Uses[id]
+}
+
+// trackedErrVars collects the error-typed variables declared in the
+// body. Variables a closure merely assigns (its free variables) are
+// declared outside and excluded: their later reads happen beyond this
+// graph.
+func trackedErrVars(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	consider := func(id *ast.Ident) {
+		if id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil || !isErrorType(obj.Type()) {
+			return
+		}
+		if v, okb := obj.(*types.Var); !okb || v.IsField() || isPackageLevel(obj) {
+			return
+		}
+		out[obj] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own graph
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, okb := ast.Unparen(lhs).(*ast.Ident); okb {
+					consider(id)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				consider(name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// escapedErrVars finds error variables a nested closure references or
+// whose address is taken: their reads can happen outside the enclosing
+// function's control flow.
+func escapedErrVars(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && isErrorType(obj.Type()) {
+			out[obj] = true
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil && isErrorType(obj.Type()) {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, okb := inner.(*ast.Ident); okb {
+					mark(id)
+				}
+				return true
+			})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, okb := ast.Unparen(n.X).(*ast.Ident); okb {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// namedErrorResults returns the declared function's named result
+// variables (bare returns propagate them).
+func namedErrorResults(pass *Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if decl.Type.Results == nil {
+		return out
+	}
+	for _, f := range decl.Type.Results.List {
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func litErrorResults(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if lit.Type.Results == nil {
+		return out
+	}
+	for _, f := range lit.Type.Results.List {
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// isErrorType reports whether t is exactly the built-in error
+// interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, okb := pass.TypesInfo.Types[e]
+	return okb && tv.IsNil()
+}

@@ -216,3 +216,37 @@ func (p *Pass) ImportObjectFact(obj types.Object, out Fact) bool {
 	}
 	return p.facts.importFact(p.Analyzer.Name, obj, out)
 }
+
+// An ObjectFact pairs a fact with the canonical key (ObjectKey) of the
+// object it describes.
+type ObjectFact struct {
+	Object string
+	Fact   Fact
+}
+
+// AllObjectFacts returns every fact of p's analyzer currently in the
+// store, sorted by object key — in standalone mode all facts exported
+// by the packages analyzed so far, in vet-tool mode the facts imported
+// from dependency .vetx files plus the current unit's. Mirrors
+// golang.org/x/tools' Pass.AllObjectFacts; lockorder uses it to see
+// the whole lock-acquisition graph, not just the facts of functions it
+// happens to reference.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.allFacts(p.Analyzer.Name)
+}
+
+func (s *FactStore) allFacts(analyzer string) []ObjectFact {
+	s.mu.Lock()
+	out := make([]ObjectFact, 0, len(s.m))
+	for k, f := range s.m {
+		if k.analyzer == analyzer {
+			out = append(out, ObjectFact{Object: k.object, Fact: f})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Object < out[j].Object })
+	return out
+}

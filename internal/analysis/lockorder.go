@@ -1,0 +1,758 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+)
+
+// LockOrder detects lock-order deadlocks: it tracks, with a forward
+// CFG dataflow per function, which mutexes may be held at every
+// program point, records an acquisition edge A→B whenever B is locked
+// while A is held, stitches the edges into a global lock-acquisition
+// graph through the fact store (so an edge taken inside a callee in
+// another package still orders the caller's held locks before the
+// callee's), and reports every cycle — two goroutines taking the same
+// pair of locks in opposite orders is the deadlock `go test -race`
+// cannot see because it needs the unlucky interleaving to happen.
+//
+// Locks are identified by their guarding structure, not by instance:
+// a field `mu` of type T is the lock "(T).mu" wherever the instance
+// lives, and a package-level mutex is "pkg.name". Two acquisitions of
+// the *same* key are ordered only when they provably touch the same
+// instance (same root variable and selector path) — locking
+// shards[0].mu then shards[1].mu is not a self-cycle — but locking a
+// mutex the function already holds, or calling a function whose
+// summary says it will lock it again, is reported as a self-deadlock
+// (sync.Mutex is not reentrant).
+//
+// Methods annotated `// +whirllint:locked` are analyzed with their
+// receiver's mutex fields held at entry, matching lockguard's
+// convention that every caller already holds the lock.
+//
+// The escape hatch for a deliberate, externally-serialized ordering is
+//
+//	// +whirllint:lockorder <justification>
+//
+// on the function whose acquisition closes the cycle; the
+// justification is mandatory.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report lock-acquisition cycles (potential deadlocks) across the interprocedural lock graph",
+	Run:  runLockOrder,
+}
+
+// LockAcquire is one mutex acquisition in a function summary: the
+// canonical lock key, where it happens, and whether it is a read lock.
+type LockAcquire struct {
+	Key  string `json:"key"`
+	Site string `json:"site"`
+	Read bool   `json:"read,omitempty"`
+}
+
+// LockEdge is one ordered pair in the lock-acquisition graph: To was
+// acquired while From was held. Via names the function whose body took
+// the edge.
+type LockEdge struct {
+	From     string `json:"from"`
+	FromSite string `json:"fromSite"`
+	To       string `json:"to"`
+	ToSite   string `json:"toSite"`
+	Via      string `json:"via"`
+	// pos is the To acquisition's position in the current pass; zero
+	// for edges deserialized from facts (not on the wire).
+	pos token.Pos
+}
+
+// LockFact is the per-function summary lockorder exports: every lock
+// the function may acquire (directly or through callees) and every
+// acquisition-order edge its body introduces.
+type LockFact struct {
+	Acquires []LockAcquire `json:"acquires,omitempty"`
+	Edges    []LockEdge    `json:"edges,omitempty"`
+}
+
+// AFact marks LockFact as a fact type.
+func (*LockFact) AFact() {}
+
+func init() { RegisterFactType(new(LockFact)) }
+
+// heldLock is one entry of the dataflow fact: a lock key with the
+// acquisition that introduced it (first-seen site kept across merges,
+// for deterministic diagnostics).
+type heldLock struct {
+	site token.Pos
+	read bool
+	// root pins the instance when it is provable: the object and
+	// selector path of the acquisition expression. nil root means the
+	// instance is unknown.
+	root types.Object
+	path string
+}
+
+// heldSet maps lock key -> acquisition. Treated as immutable by the
+// dataflow; transfer copies on write.
+type heldSet map[string]heldLock
+
+// lockCallSite is a call made while locks were held, recorded for the
+// interprocedural edge pass once callee summaries are solved.
+type lockCallSite struct {
+	callee *types.Func
+	pos    token.Pos
+	held   heldSet
+}
+
+// lockFn is one declared function or method under analysis.
+type lockFn struct {
+	decl  *ast.FuncDecl
+	obj   *types.Func
+	name  string
+	skip  bool   // +whirllint:lockorder escape hatch
+	justs string // its justification
+	entry heldSet
+
+	acquires []LockAcquire // direct acquisitions
+	edges    []LockEdge    // direct (intra-body) edges
+	calls    []lockCallSite
+
+	summary   map[string]LockAcquire // transitive acquires, fixpoint
+	selfCalls map[*types.Func]bool
+}
+
+func runLockOrder(pass *Pass) error {
+	fns := collectLockFns(pass)
+	if len(fns) == 0 {
+		return nil
+	}
+	for _, fn := range fns {
+		analyzeLockFlow(pass, fn)
+	}
+	solveLockSummaries(pass, fns)
+
+	// Interprocedural edges: a call made with locks held orders every
+	// held lock before everything the callee may acquire.
+	for _, fn := range fns {
+		if fn.skip {
+			continue
+		}
+		for _, call := range fn.calls {
+			for _, acq := range calleeAcquires(pass, fns, call.callee) {
+				for from, h := range call.held {
+					if from == acq.Key {
+						// The callee re-acquires a lock the caller holds.
+						// Instance identity across the call boundary is
+						// unknowable here, so only exclusive locks are
+						// certain trouble (RLock+RLock needs a pending
+						// writer to deadlock).
+						if !h.read || !acq.Read {
+							pass.Reportf(call.pos,
+								"calling %s while holding %s (acquired at %s): the callee acquires %s again at %s — self-deadlock, sync.Mutex is not reentrant; restructure so the lock is taken once, or annotate the enclosing function %slockorder with a justification",
+								funcDisplayName(call.callee), from, shortPos(pass, h.site), acq.Key, acq.Site, annotationPrefix)
+						}
+						continue
+					}
+					fn.edges = append(fn.edges, LockEdge{
+						From:     from,
+						FromSite: shortPos(pass, h.site),
+						To:       acq.Key,
+						ToSite:   acq.Site,
+						Via:      fn.name,
+						pos:      call.pos,
+					})
+				}
+			}
+		}
+	}
+
+	// Assemble the global graph: every edge visible through facts plus
+	// this package's fresh ones, then hunt cycles that a fresh edge
+	// closes — each cycle is reported exactly once, in the package that
+	// completes it.
+	var old []LockEdge
+	for _, of := range pass.AllObjectFacts() {
+		if lf, ok := of.Fact.(*LockFact); ok {
+			old = append(old, lf.Edges...)
+		}
+	}
+	var fresh []LockEdge
+	for _, fn := range fns {
+		fresh = append(fresh, fn.edges...)
+	}
+	reportLockCycles(pass, fns, old, fresh)
+
+	// Export summaries for downstream packages.
+	for _, fn := range fns {
+		if fn.obj == nil {
+			continue
+		}
+		fact := &LockFact{Edges: fn.edges}
+		keys := make([]string, 0, len(fn.summary))
+		for k := range fn.summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fact.Acquires = append(fact.Acquires, fn.summary[k])
+		}
+		pass.ExportObjectFact(fn.obj, fact)
+	}
+
+	// A bare lockorder annotation waives a deadlock gate; the why is
+	// mandatory.
+	for _, fn := range fns {
+		if fn.skip && fn.justs == "" {
+			pass.Reportf(fn.decl.Name.Pos(),
+				"%slockorder on %s needs a justification on the same line (why is this acquisition order safe?)",
+				annotationPrefix, fn.name)
+		}
+	}
+	return nil
+}
+
+func collectLockFns(pass *Pass) []*lockFn {
+	var fns []*lockFn
+	for _, decl := range funcDecls(pass) {
+		if decl.Body == nil {
+			continue
+		}
+		obj, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		skip, justs := funcAnnotation(decl, "lockorder")
+		fn := &lockFn{
+			decl:      decl,
+			obj:       obj,
+			skip:      skip,
+			justs:     justs,
+			entry:     heldSet{},
+			summary:   make(map[string]LockAcquire),
+			selfCalls: make(map[*types.Func]bool),
+		}
+		if obj != nil {
+			fn.name = funcDisplayName(obj)
+		} else {
+			fn.name = decl.Name.Name
+		}
+		// A locked-annotated method runs with every caller holding the
+		// receiver's mutex, so it is held from the first statement.
+		if hasAnnotation(decl, "locked") && decl.Recv != nil {
+			for key, h := range receiverMutexes(pass, decl) {
+				fn.entry[key] = h
+			}
+		}
+		fns = append(fns, fn)
+	}
+	return fns
+}
+
+// receiverMutexes returns the lock keys of the receiver struct's direct
+// sync.Mutex/RWMutex fields, held-at-entry entries for +whirllint:locked.
+func receiverMutexes(pass *Pass, decl *ast.FuncDecl) heldSet {
+	out := heldSet{}
+	if len(decl.Recv.List) != 1 {
+		return out
+	}
+	t := pass.TypesInfo.TypeOf(decl.Recv.List[0].Type)
+	if t == nil {
+		return out
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return out
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return out
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isNamedType(f.Type(), "sync", "Mutex") || isNamedType(f.Type(), "sync", "RWMutex") {
+			key := typeLockKey(named, f.Name())
+			out[key] = heldLock{site: decl.Name.Pos(), path: "caller-held (+whirllint:locked)"}
+		}
+	}
+	return out
+}
+
+// analyzeLockFlow runs the held-set dataflow over one function and
+// fills its direct acquisitions, intra-body edges, self-deadlock
+// reports, and call sites.
+func analyzeLockFlow(pass *Pass, fn *lockFn) {
+	g := cfg.New(fn.decl.Body, nil)
+	flow := &cfg.Flow[heldSet]{
+		EntryFact: fn.entry,
+		Merge:     mergeHeld,
+		Equal:     equalHeld,
+		Node:      func(n ast.Node, in heldSet) heldSet { return lockTransfer(pass, n, in, nil) },
+	}
+	in := flow.Forward(g)
+
+	// Re-walk each reached block, replaying the transfer with a sink
+	// that records acquisitions, edges, and calls at the exact held-set
+	// each occurs under.
+	sink := &lockSink{pass: pass, fn: fn}
+	for _, b := range g.Blocks {
+		state, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			state = lockTransfer(pass, n, state, sink)
+		}
+	}
+}
+
+// lockSink collects the events of a replay walk.
+type lockSink struct {
+	pass *Pass
+	fn   *lockFn
+}
+
+func (s *lockSink) acquire(pos token.Pos, key string, acq heldLock, held heldSet) {
+	s.fn.acquires = append(s.fn.acquires, LockAcquire{
+		Key: key, Site: shortPos(s.pass, pos), Read: acq.read,
+	})
+	if s.fn.skip {
+		return
+	}
+	for from, h := range held {
+		if from == key {
+			// Same lock key: a self-deadlock only when it is provably the
+			// same instance; distinct instances of one type (shard
+			// arrays) carry no inherent order.
+			if h.root != nil && h.root == acq.root && h.path == acq.path && (!h.read || !acq.read) {
+				s.pass.Reportf(pos,
+					"%s is locked at %s and locked again here without an intervening unlock — self-deadlock, sync.Mutex is not reentrant",
+					h.path, shortPos(s.pass, h.site))
+			}
+			continue
+		}
+		s.fn.edges = append(s.fn.edges, LockEdge{
+			From:     from,
+			FromSite: shortPos(s.pass, h.site),
+			To:       key,
+			ToSite:   shortPos(s.pass, pos),
+			Via:      s.fn.name,
+			pos:      pos,
+		})
+	}
+}
+
+func (s *lockSink) call(callee *types.Func, pos token.Pos, held heldSet) {
+	if len(held) == 0 {
+		return
+	}
+	copied := make(heldSet, len(held))
+	for k, v := range held {
+		copied[k] = v
+	}
+	s.fn.calls = append(s.fn.calls, lockCallSite{callee: callee, pos: pos, held: copied})
+	s.fn.selfCalls[callee] = true
+}
+
+// lockTransfer is the dataflow transfer for one flat node: Lock/RLock
+// adds the lock to the held set (reporting through sink on the replay
+// walk), Unlock/RUnlock removes it, and calls with locks held are
+// recorded. Deferred statements only evaluate their arguments at the
+// defer site — a deferred Unlock releases at exit, so it must not
+// clear the lock mid-body.
+func lockTransfer(pass *Pass, n ast.Node, in heldSet, sink *lockSink) heldSet {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return in
+	}
+	out := in
+	cfg.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			// Plain function call f(...): record for interprocedural
+			// edges when locks are held.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && sink != nil {
+				if fnObj, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+					sink.call(fnObj, call.Pos(), out)
+				}
+			}
+			return true
+		}
+		fnObj, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if fnObj == nil {
+			return true
+		}
+		if kind := mutexMethod(fnObj); kind != "" {
+			key, root, path := lockKey(pass, sel.X)
+			if key == "" {
+				return true
+			}
+			switch kind {
+			case "Lock", "RLock":
+				acq := heldLock{site: call.Pos(), read: kind == "RLock", root: root, path: path}
+				if sink != nil {
+					sink.acquire(call.Pos(), key, acq, out)
+				}
+				copied := make(heldSet, len(out)+1)
+				for k, v := range out {
+					copied[k] = v
+				}
+				if _, dup := copied[key]; !dup {
+					copied[key] = acq
+				}
+				out = copied
+			case "Unlock", "RUnlock":
+				if _, held := out[key]; held {
+					copied := make(heldSet, len(out))
+					for k, v := range out {
+						if k != key {
+							copied[k] = v
+						}
+					}
+					out = copied
+				}
+			}
+			return true
+		}
+		if sink != nil {
+			sink.call(fnObj, call.Pos(), out)
+		}
+		return true
+	})
+	return out
+}
+
+// mutexMethod classifies a callee as one of the four sync lock
+// operations when its receiver is sync.Mutex or sync.RWMutex.
+func mutexMethod(fn *types.Func) string {
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex") {
+		return fn.Name()
+	}
+	return ""
+}
+
+// lockKey canonicalizes the receiver expression of a Lock call into a
+// cross-package lock identity:
+//
+//	c.mu.Lock()            -> "pkg.(T).mu"   (T the named type owning mu)
+//	globalMu.Lock()        -> "pkg.globalMu" (package-level var)
+//	c.Lock()               -> "pkg.(T)"      (T embeds the mutex)
+//
+// root and path pin the concrete instance when the chain bottoms out in
+// a simple variable, for exact self-deadlock detection; root is nil
+// when the instance is unknowable (map/slice elements, call results).
+func lockKey(pass *Pass, expr ast.Expr) (key string, root types.Object, path string) {
+	expr = ast.Unparen(expr)
+	path = types.ExprString(expr)
+	root = chainRoot(pass, expr)
+
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		// Owner of the final field determines the key.
+		ot := pass.TypesInfo.TypeOf(e.X)
+		if named := derefNamed(ot); named != nil && named.Obj().Pkg() != nil {
+			return typeLockKey(named, e.Sel.Name), root, path
+		}
+		// No named owner: fall back to a package-level root if any.
+		if root != nil && isPackageLevel(root) {
+			return strippedPath(root.Pkg().Path()) + "." + root.Name() + "." + e.Sel.Name, root, path
+		}
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return "", nil, path
+		}
+		if isPackageLevel(obj) {
+			return strippedPath(obj.Pkg().Path()) + "." + obj.Name(), obj, path
+		}
+		// Local or receiver with a promoted Lock: key by its named type
+		// when that type is the package's own (embedding case). A bare
+		// local sync.Mutex has no cross-function identity.
+		if named := derefNamed(pass.TypesInfo.TypeOf(e)); named != nil && named.Obj().Pkg() != nil {
+			if named.Obj().Pkg().Path() != "sync" {
+				return typeLockKey(named, ""), obj, path
+			}
+		}
+	case *ast.IndexExpr:
+		k, r, _ := lockKey(pass, e.X)
+		return k, r, path
+	case *ast.StarExpr:
+		return lockKey(pass, e.X)
+	}
+	return "", nil, path
+}
+
+func typeLockKey(named *types.Named, field string) string {
+	key := strippedPath(named.Obj().Pkg().Path()) + ".(" + named.Obj().Name() + ")"
+	if field != "" {
+		key += "." + field
+	}
+	return key
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// chainRoot resolves the variable at the bottom of a selector/index
+// chain; nil when the chain roots in a call or literal.
+func chainRoot(pass *Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func mergeHeld(a, b heldSet) heldSet {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(heldSet, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// solveLockSummaries computes each function's transitive acquire set:
+// its direct acquisitions plus everything its callees may acquire,
+// iterated to fixpoint across the package (imported facts seed the
+// out-of-package callees).
+func solveLockSummaries(pass *Pass, fns []*lockFn) {
+	byObj := make(map[*types.Func]*lockFn, len(fns))
+	for _, fn := range fns {
+		for _, acq := range fn.acquires {
+			if _, ok := fn.summary[acq.Key]; !ok {
+				fn.summary[acq.Key] = acq
+			}
+		}
+		if fn.obj != nil {
+			byObj[fn.obj] = fn
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			for callee := range fn.selfCalls {
+				var acquires []LockAcquire
+				if local := byObj[callee]; local != nil {
+					for _, acq := range local.summary {
+						acquires = append(acquires, acq)
+					}
+				} else {
+					var fact LockFact
+					if pass.ImportObjectFact(callee, &fact) {
+						acquires = fact.Acquires
+					}
+				}
+				for _, acq := range acquires {
+					if _, ok := fn.summary[acq.Key]; !ok {
+						fn.summary[acq.Key] = acq
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// calleeAcquires resolves what a call may lock: the local summary for
+// in-package callees, the imported fact otherwise.
+func calleeAcquires(pass *Pass, fns []*lockFn, callee *types.Func) []LockAcquire {
+	for _, fn := range fns {
+		if fn.obj == callee {
+			out := make([]LockAcquire, 0, len(fn.summary))
+			keys := make([]string, 0, len(fn.summary))
+			for k := range fn.summary {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				out = append(out, fn.summary[k])
+			}
+			return out
+		}
+	}
+	var fact LockFact
+	if pass.ImportObjectFact(callee, &fact) {
+		return fact.Acquires
+	}
+	return nil
+}
+
+// reportLockCycles finds every cycle in old ∪ fresh that uses at least
+// one fresh edge and reports it at the fresh edge's acquisition site.
+func reportLockCycles(pass *Pass, fns []*lockFn, old, fresh []LockEdge) {
+	adj := make(map[string][]LockEdge)
+	seenEdge := make(map[string]bool)
+	addEdge := func(e LockEdge) {
+		sig := e.From + "\x00" + e.To + "\x00" + e.FromSite + "\x00" + e.ToSite
+		if seenEdge[sig] {
+			return
+		}
+		seenEdge[sig] = true
+		adj[e.From] = append(adj[e.From], e)
+	}
+	for _, e := range old {
+		addEdge(e)
+	}
+	for _, e := range fresh {
+		addEdge(e)
+	}
+
+	reported := make(map[string]bool)
+	for _, e := range fresh {
+		// A fresh edge From→To closes a cycle iff To already reaches
+		// From. BFS keeps the reported chain shortest.
+		back := shortestPath(adj, e.To, e.From)
+		if back == nil {
+			continue
+		}
+		cycleKeys := []string{e.From, e.To}
+		for _, be := range back {
+			cycleKeys = append(cycleKeys, be.To)
+		}
+		sort.Strings(cycleKeys)
+		sig := strings.Join(uniqueStrings(cycleKeys), "→")
+		if reported[sig] {
+			continue
+		}
+		reported[sig] = true
+
+		var chain strings.Builder
+		for _, be := range back {
+			fmt.Fprintf(&chain, "; %s→%s (%s held at %s, %s acquired at %s, in %s)",
+				be.From, be.To, be.From, be.FromSite, be.To, be.ToSite, be.Via)
+		}
+		pos := lockEdgePos(pass, fns, e)
+		pass.Reportf(pos,
+			"lock-order cycle: %s is acquired here while holding %s (held since %s), but the reverse order also exists%s — two goroutines taking these locks concurrently can deadlock; pick one global order, or annotate the function whose acquisition closes the cycle %slockorder with a justification",
+			e.To, e.From, e.FromSite, chain.String(), annotationPrefix)
+	}
+}
+
+// lockEdgePos recovers a reportable position for a fresh edge: the
+// exact acquisition when the edge was built this pass, else the
+// originating function's declaration.
+func lockEdgePos(pass *Pass, fns []*lockFn, e LockEdge) token.Pos {
+	if e.pos.IsValid() {
+		return e.pos
+	}
+	for _, fn := range fns {
+		if fn.name == e.Via {
+			return fn.decl.Name.Pos()
+		}
+	}
+	if len(fns) > 0 {
+		return fns[0].decl.Name.Pos()
+	}
+	return token.NoPos
+}
+
+func shortestPath(adj map[string][]LockEdge, from, to string) []LockEdge {
+	type step struct {
+		key  string
+		prev *step
+		edge LockEdge
+	}
+	visited := map[string]bool{from: true}
+	queue := []*step{{key: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur.key] {
+			if visited[e.To] {
+				continue
+			}
+			next := &step{key: e.To, prev: cur, edge: e}
+			if e.To == to {
+				var path []LockEdge
+				for s := next; s.prev != nil; s = s.prev {
+					path = append(path, s.edge)
+				}
+				// Reverse into from→to order.
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			visited[e.To] = true
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+func uniqueStrings(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// shortPos renders a position compactly (basename:line:col) for
+// embedding in fact sites and diagnostics.
+func shortPos(pass *Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}

@@ -6,9 +6,12 @@ func All() []*Analyzer {
 		ArenaEscape,
 		AtomicField,
 		CtxPoll,
+		DeadlineWait,
+		ErrFlow,
 		FloatScore,
 		GoroutineLeak,
 		HotAlloc,
 		LockGuard,
+		LockOrder,
 	}
 }

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSARIFEscaping feeds adversarial diagnostic messages and file
+// names through the SARIF renderer: whatever the analyzers report —
+// quotes, backslashes, control bytes, invalid UTF-8 from a mangled
+// source file — the output must stay valid JSON, and valid-UTF-8
+// messages must round-trip byte for byte.
+func FuzzSARIFEscaping(f *testing.F) {
+	f.Add(`plain message`, "internal/core/engine.go")
+	f.Add(`quote " backslash \ slash /`, `C:\repo\x.go`)
+	f.Add("newline\nand\ttab", "a\"b.go")
+	f.Add("control \x00\x01\x1f bytes", "weird\x7f.go")
+	f.Add("unicode ↯ ∞ → and \u2028 \u2029", "päth.go")
+	f.Add(string([]byte{0xff, 0xfe, 'x'}), string([]byte{0x80}))
+	f.Fuzz(func(t *testing.T, message, filename string) {
+		diags := []Diagnostic{{
+			Analyzer: "lockorder",
+			Pos:      token.Position{Filename: filename, Line: 3, Column: 7},
+			Message:  message,
+		}}
+		out, err := SARIF(All(), diags, "", nil)
+		if err != nil {
+			t.Fatalf("SARIF failed: %v", err)
+		}
+		var log sarifLog
+		if err := json.Unmarshal(out, &log); err != nil {
+			t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, out)
+		}
+		if len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+			t.Fatalf("want 1 run with 1 result, got %+v", log.Runs)
+		}
+		got := log.Runs[0].Results[0].Message.Text
+		// encoding/json replaces invalid UTF-8 with U+FFFD; only valid
+		// input is expected back verbatim.
+		if utf8.ValidString(message) && got != message {
+			t.Fatalf("message did not round-trip:\nin:  %q\nout: %q", message, got)
+		}
+		if !utf8.ValidString(message) && !utf8.ValidString(got) {
+			t.Fatalf("invalid UTF-8 leaked through JSON encoding: %q", got)
+		}
+	})
+}
+
+// TestSARIFRuleSet pins that every registered analyzer publishes a
+// rule even when it reported nothing, so code-scanning keeps the rule
+// metadata across clean runs.
+func TestSARIFRuleSet(t *testing.T) {
+	out, err := SARIF(All(), nil, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatal(err)
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	if len(rules) != len(All()) {
+		t.Fatalf("published %d rules, want %d", len(rules), len(All()))
+	}
+	var names []string
+	for _, r := range rules {
+		names = append(names, r.ID)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"deadlinewait", "errflow", "lockorder"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("rule %s missing from SARIF driver rules: %s", want, joined)
+		}
+	}
+}

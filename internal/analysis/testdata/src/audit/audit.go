@@ -1,0 +1,40 @@
+// Package audit is golden testdata for the -audit-annotations mode.
+// The stale notes below are deliberate; the audit test asserts each is
+// reported (and that the healthy ones are not).
+package audit
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *store) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// get reads n under the caller's lock. The justification names a
+// symbol that still exists, so the note is healthy.
+// +whirllint:locked callers hold store.mu around every read
+func (s *store) get() int { return s.n }
+
+// stale references a method that was renamed away: store.Acquire no
+// longer resolves anywhere.
+// +whirllint:locked callers hold the lock via store.Acquire()
+func (s *store) stale() int { return s.n }
+
+// unknownTag uses a tag no analyzer honours.
+// +whirllint:nosuchtag this never did anything
+func unknownTag() {}
+
+// bare forgot the tag entirely.
+// +whirllint:
+func bare() {}
+
+// prose justifications are not audited: no dotted or call-shaped
+// token, no finding.
+// +whirllint:errok warming the cache is best effort
+func prose() {}

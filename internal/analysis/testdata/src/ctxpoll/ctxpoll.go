@@ -40,6 +40,50 @@ func selectPoll(ctx context.Context, ch chan int) {
 	}
 }
 
+// selectNoPoll drains two channels forever; a select alone is not a
+// poll — without a Done arm the loop outlives its query.
+func selectNoPoll(a, b chan int) {
+	for { // want `unbounded loop never polls cancellation`
+		select {
+		case v := <-a:
+			_ = v
+		case v := <-b:
+			_ = v
+		}
+	}
+}
+
+// selectDefault spins through a non-blocking select without ever
+// checking cancellation.
+func selectDefault(ch chan int) {
+	for { // want `unbounded loop never polls cancellation`
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+		}
+	}
+}
+
+// nestedSelectPoll keeps its Done arm in an inner select; any
+// occurrence inside the loop body counts as polling.
+func nestedSelectPoll(ctx context.Context, a, b chan int) {
+	for {
+		select {
+		case v := <-a:
+			_ = v
+		case _, ok := <-b:
+			if !ok {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+			}
+		}
+	}
+}
+
 func (r *run) unbounded(ch chan int) {
 	for { // want `unbounded loop never polls cancellation`
 		v, ok := <-ch

@@ -1,0 +1,134 @@
+// Package deadlinewait is golden testdata for the deadlinewait
+// analyzer.
+package deadlinewait
+
+import (
+	"context"
+	"sync"
+)
+
+// --- true positives: the ctx parameter is dead weight ---
+
+func waitRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want `this channel receive blocks until a sender is ready`
+}
+
+func sendResult(ctx context.Context, ch chan int, v int) {
+	ch <- v // want `this channel send blocks until a receiver is ready`
+}
+
+func waitAll(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want `WaitGroup.Wait blocks until every worker calls Done`
+}
+
+func pickOne(ctx context.Context, a, b chan int) int {
+	select { // want `this select has no default clause and no ctx arm`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func drain(ctx context.Context, ch chan int) int {
+	total := 0
+	for v := range ch { // want `ranging over a channel blocks until the sender closes it`
+		total += v
+	}
+	return total
+}
+
+func spinForever(ctx context.Context) {
+	n := 0
+	for { // want `unbounded for-loop never consults ctx and has no exit`
+		n++
+	}
+}
+
+// Function literals with their own ctx parameter get their own graph.
+func makeHandler() func(context.Context, chan int) int {
+	return func(ctx context.Context, ch chan int) int {
+		return <-ch // want `this channel receive blocks until a sender is ready`
+	}
+}
+
+// --- negatives ---
+
+// Handing ctx to the workers first is delegation: cancelling the ctx
+// drains the pool and Wait returns.
+func fanOut(ctx context.Context, wg *sync.WaitGroup, work func(context.Context)) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work(ctx)
+	}()
+	wg.Wait()
+}
+
+// A ctx arm makes the select deadline-aware.
+func waitOrCancel(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// A default clause never blocks.
+func poll(ctx context.Context, ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Every path to the receive has consulted ctx.
+func checkedRecv(ctx context.Context, ch chan int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return <-ch
+}
+
+// Deriving a child context counts: the callee observes cancellation.
+func derived(ctx context.Context, ch chan int, start func(context.Context) chan int) int {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := start(runCtx)
+	return <-out
+}
+
+// No ctx parameter: out of scope.
+func plainRecv(ch chan int) int {
+	return <-ch
+}
+
+// A loop with its own exit and a ctx consultation inside is live.
+func pump(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+// --- escape hatch ---
+
+// shutdownWait is the rendezvous the cancelling side itself waits on.
+// +whirllint:nodeadline shutdown barrier; the caller owning done is the one that cancels ctx
+func shutdownWait(ctx context.Context, done chan struct{}) {
+	<-done
+}
+
+// +whirllint:nodeadline
+func bareNodeadline(ctx context.Context) {} // want `\+whirllint:nodeadline on bareNodeadline needs a justification`

@@ -1,0 +1,131 @@
+// Package errflow is golden testdata for the errflow analyzer.
+package errflow
+
+import "errors"
+
+func step(p string) error {
+	if p == "" {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+func parse(p string) (int, error) {
+	if p == "" {
+		return 0, errors.New("empty")
+	}
+	return len(p), nil
+}
+
+// --- true positives ---
+
+// The classic shadow-free overwrite: the first result is clobbered by
+// the second call before anyone looks at it.
+func overwritten(p string) error {
+	err := step(p) // want `error assigned here is overwritten below before being checked`
+	err = step(p + p)
+	return err
+}
+
+// Checked on the verbose path only; the quiet path drops it.
+func oneBranch(p string, verbose bool) {
+	err := step(p) // want `error assigned here reaches a return without being checked`
+	if verbose {
+		println(err)
+	}
+}
+
+// Re-using err in a second multi-assign before the check kills the
+// first call's result.
+func multi(p string) (int, error) {
+	v, err := parse(p) // want `error assigned here is overwritten below before being checked`
+	w, err := parse(p + p)
+	if err != nil {
+		return 0, err
+	}
+	return v + w, nil
+}
+
+// A named result assigned and then clobbered with nil on the way out.
+func clobbered(p string) (err error) {
+	err = step(p) // want `error assigned here is overwritten below before being checked`
+	err = nil
+	return
+}
+
+// Function literals get their own graph.
+func litDrops() func(string) error {
+	return func(p string) error {
+		err := step(p) // want `error assigned here is overwritten below before being checked`
+		err = step(p + p)
+		return err
+	}
+}
+
+// --- negatives ---
+
+// The ordinary check-and-return chain.
+func checked(p string) error {
+	err := step(p)
+	if err != nil {
+		return err
+	}
+	return step(p + p)
+}
+
+// A bare return propagates a pending named result.
+func propagates(p string) (err error) {
+	err = step(p)
+	return
+}
+
+// Inner-scope shadows are separate variables, each checked on its own.
+func shadowed(p string) error {
+	if err := step(p); err != nil {
+		return err
+	}
+	if err := step(p + p); err != nil {
+		return err
+	}
+	return nil
+}
+
+// A variable the closure captures may be checked after the closure
+// runs; neither graph owns it.
+func captured(p string, retry func(func())) error {
+	var err error
+	retry(func() {
+		err = step(p)
+	})
+	return err
+}
+
+// Assigning into a checked accumulator inside a loop.
+func firstError(ps []string) error {
+	var first error
+	for _, p := range ps {
+		if err := step(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Handing the error to another function is a read.
+func wrapped(p string) error {
+	err := step(p)
+	return errors.Join(err, step(p+p))
+}
+
+// --- escape hatch ---
+
+// warm is best-effort by contract.
+// +whirllint:errok cache warm-up; a miss is repopulated on first access
+func warm(p string) {
+	err := step(p)
+	err = step(p + p)
+	_ = err
+}
+
+// +whirllint:errok
+func bareErrok() {} // want `\+whirllint:errok on bareErrok needs a justification`

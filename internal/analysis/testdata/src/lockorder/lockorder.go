@@ -1,0 +1,172 @@
+// Package lockorder is golden testdata for the lockorder analyzer.
+package lockorder
+
+import "sync"
+
+// --- direct cycle: two functions take the same pair in opposite order ---
+
+type a struct {
+	mu sync.Mutex
+	n  int
+}
+
+type b struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockAB(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock-order cycle: .*\(b\)\.mu is acquired here while holding .*\(a\)\.mu`
+	y.n++
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func lockBA(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// --- interprocedural cycle: one side of the inversion hides in a callee ---
+
+type c struct {
+	mu sync.Mutex
+	n  int
+}
+
+type d struct {
+	mu sync.Mutex
+	n  int
+}
+
+func helperLockD(y *d) {
+	y.mu.Lock()
+	y.n++
+	y.mu.Unlock()
+}
+
+func viaCall(x *c, y *d) {
+	x.mu.Lock()
+	helperLockD(y) // want `lock-order cycle: .*\(d\)\.mu is acquired here while holding .*\(c\)\.mu`
+	x.mu.Unlock()
+}
+
+func viaReverse(x *c, y *d) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// --- self-deadlock: sync.Mutex is not reentrant ---
+
+type e struct {
+	mu sync.Mutex
+	n  int
+}
+
+func doubleLock(x *e) {
+	x.mu.Lock()
+	x.mu.Lock() // want `x\.mu is locked at .* and locked again here without an intervening unlock`
+	x.n++
+	x.mu.Unlock()
+}
+
+func lockE(x *e) {
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+}
+
+func callWhileHolding(x *e) {
+	x.mu.Lock()
+	lockE(x) // want `the callee acquires .*\(e\)\.mu again at .* — self-deadlock`
+	x.mu.Unlock()
+}
+
+// --- negatives ---
+
+// Consistent global order: a before b everywhere is fine.
+func alsoAB(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	y.n = x.n
+}
+
+// Releasing before taking the next lock imposes no order.
+func sequential(x *a, y *b) {
+	y.mu.Lock()
+	y.n++
+	y.mu.Unlock()
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+}
+
+// Distinct instances of one type carry no inherent order: hand-over-hand
+// over a shard array is not a self-cycle.
+func shardPair(shards []e) {
+	shards[0].mu.Lock()
+	shards[1].mu.Lock()
+	shards[1].n = shards[0].n
+	shards[1].mu.Unlock()
+	shards[0].mu.Unlock()
+}
+
+// Two read locks cannot deadlock each other without a pending writer.
+type r struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func readHelper(x *r) int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.n
+}
+
+func readTwice(x *r) int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return readHelper(x)
+}
+
+// --- escape hatch ---
+
+type g struct {
+	mu sync.Mutex
+	n  int
+}
+
+type h struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockGH(x *g, y *h) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.n++
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// lockHG inverts the g/h order on purpose.
+// +whirllint:lockorder only ever called from the shutdown path, after lockGH's callers have drained
+func lockHG(x *g, y *h) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// +whirllint:lockorder
+func bareAnnotation() {} // want `\+whirllint:lockorder on .*bareAnnotation needs a justification`

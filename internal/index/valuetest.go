@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -68,8 +69,8 @@ func (vt ValueTest) Matches(v string) bool {
 		if !vt.isNum {
 			return false
 		}
-		n, err := strconv.ParseFloat(v, 64)
-		if err != nil {
+		n, ok := parseNum(v)
+		if !ok {
 			return false
 		}
 		switch vt.Op {
@@ -85,6 +86,89 @@ func (vt ValueTest) Matches(v string) bool {
 	default:
 		return false
 	}
+}
+
+// parseNum parses a plain decimal number — [+-]digits[.digits] with an
+// optional e/E exponent — without allocating. Matches calls it once per
+// candidate node inside the serving loop, where the text routinely is
+// not a number; strconv.ParseFloat would heap-allocate a *NumError for
+// every such miss. The result is exact for values on strconv's own
+// fast path (≤ 19 significant digits, then one multiply by an exact
+// power of ten) and within ~1 ulp otherwise — more than enough for
+// ordered comparisons. Spellings ParseFloat also accepts but XML
+// values never use — hex floats, "Inf", "NaN", underscore separators —
+// are reported as non-numeric; out-of-range exponents saturate to
+// ±Inf/0 instead of failing.
+func parseNum(s string) (float64, bool) {
+	i, n := 0, len(s)
+	neg := false
+	if i < n && (s[i] == '+' || s[i] == '-') {
+		neg = s[i] == '-'
+		i++
+	}
+	var mant uint64
+	digits, exp := 0, 0
+	sawDigit := false
+	for ; i < n && '0' <= s[i] && s[i] <= '9'; i++ {
+		sawDigit = true
+		if mant == 0 && s[i] == '0' {
+			continue // leading zero: not significant
+		}
+		if digits < 19 {
+			mant = mant*10 + uint64(s[i]-'0')
+			digits++
+		} else {
+			exp++ // dropped integral digit: scale back up
+		}
+	}
+	if i < n && s[i] == '.' {
+		i++
+		for ; i < n && '0' <= s[i] && s[i] <= '9'; i++ {
+			sawDigit = true
+			if mant == 0 && s[i] == '0' {
+				exp-- // leading zero after the point: pure scale
+				continue
+			}
+			if digits < 19 {
+				mant = mant*10 + uint64(s[i]-'0')
+				digits++
+				exp--
+			}
+		}
+	}
+	if !sawDigit {
+		return 0, false
+	}
+	if i < n && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		eneg := false
+		if i < n && (s[i] == '+' || s[i] == '-') {
+			eneg = s[i] == '-'
+			i++
+		}
+		if i == n || s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		e := 0
+		for ; i < n && '0' <= s[i] && s[i] <= '9'; i++ {
+			if e < 1<<20 {
+				e = e*10 + int(s[i]-'0')
+			}
+		}
+		if eneg {
+			exp -= e
+		} else {
+			exp += e
+		}
+	}
+	if i != n {
+		return 0, false
+	}
+	f := float64(mant) * math.Pow10(exp)
+	if neg {
+		f = -f
+	}
+	return f, true
 }
 
 // Valid reports whether the operator is supported and, for ordered

@@ -1,0 +1,91 @@
+package index
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// TestParseNumParity pins parseNum against strconv.ParseFloat on the
+// inputs the serving loop actually sees: XMark-style prices and
+// quantities, signs, exponents, and the non-numeric text that makes up
+// most node values. parseNum exists so Matches never allocates; it must
+// not drift from ParseFloat on anything a comparison could touch.
+func TestParseNumParity(t *testing.T) {
+	cases := []string{
+		"0", "1", "42", "007",
+		"39.97", "157.42", "0.01", "-12.5", "+3.25",
+		".5", "5.", "-.75",
+		"1e3", "1E3", "2.5e-4", "-1.25E+6", "1e0",
+		"9007199254740993",     // 2^53+1: first integer float64 cannot hold
+		"123456789.123456789",  // > 15 significant digits
+		"1.7976931348623157e308", // MaxFloat64
+		"5e-324",               // SmallestNonzeroFloat64
+		"0.000000000000000000000000001",
+	}
+	for _, s := range cases {
+		want, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad test case %q: %v", s, err)
+		}
+		got, ok := parseNum(s)
+		if !ok {
+			t.Errorf("parseNum(%q) = not numeric, want %v", s, want)
+			continue
+		}
+		if got != want && !withinOneULP(got, want) {
+			t.Errorf("parseNum(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func withinOneULP(a, b float64) bool {
+	ba, bb := math.Float64bits(a), math.Float64bits(b)
+	if ba > bb {
+		return ba-bb <= 1
+	}
+	return bb-ba <= 1
+}
+
+// TestParseNumRejects covers text that must read as non-numeric: an
+// ordered comparison against it is simply false, exactly as the old
+// ParseFloat-error path behaved.
+func TestParseNumRejects(t *testing.T) {
+	for _, s := range []string{
+		"", " ", "abc", "12abc", "1.2.3", "--1", "1e", "1e+", "e5",
+		".", "-", "+", "1 ", " 1", "Inf", "NaN", "0x1p4", "1_000",
+	} {
+		if n, ok := parseNum(s); ok {
+			t.Errorf("parseNum(%q) = %v, true; want non-numeric", s, n)
+		}
+	}
+}
+
+// TestParseNumSaturates: exponents beyond float64's range saturate
+// instead of failing, so "1e999 > 5" is still true.
+func TestParseNumSaturates(t *testing.T) {
+	if n, ok := parseNum("1e999"); !ok || !math.IsInf(n, 1) {
+		t.Errorf("parseNum(1e999) = %v, %v; want +Inf, true", n, ok)
+	}
+	if n, ok := parseNum("-1e999"); !ok || !math.IsInf(n, -1) {
+		t.Errorf("parseNum(-1e999) = %v, %v; want -Inf, true", n, ok)
+	}
+	if n, ok := parseNum("1e-999"); !ok || n != 0 {
+		t.Errorf("parseNum(1e-999) = %v, %v; want 0, true", n, ok)
+	}
+}
+
+// TestMatchesOrderedNoAlloc pins the reason parseNum exists: an ordered
+// comparison against non-numeric node text must not allocate.
+func TestMatchesOrderedNoAlloc(t *testing.T) {
+	vt := Test("<", "100")
+	values := []string{"39.97", "not a number", "157.42", "parlist text"}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, v := range values {
+			vt.Matches(v)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ordered Matches allocated %v times per run, want 0", allocs)
+	}
+}

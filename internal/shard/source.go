@@ -1,7 +1,7 @@
 package shard
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/dewey"
 	"repro/internal/index"
@@ -37,7 +37,7 @@ func (c *Corpus) nodesLocked(tag string) []*xmltree.Node {
 		out = append(out, p.Ix.Nodes(tag)...)
 	}
 	out = append(out, c.spineByTag[tag]...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
+	slices.SortFunc(out, func(a, b *xmltree.Node) int { return a.Ord - b.Ord })
 	c.mergedTag[tag] = out
 	return out
 }
@@ -137,7 +137,7 @@ func (c *Corpus) spineDescendants(dst []*xmltree.Node, anchor *xmltree.Node, tag
 		}
 	}
 	tail := dst[start:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i].Ord < tail[j].Ord })
+	slices.SortFunc(tail, func(a, b *xmltree.Node) int { return a.Ord - b.Ord })
 	return dst
 }
 
