@@ -7,6 +7,7 @@
 //	benchcheck -file BENCH_core.json -alloc-case single -max-alloc-ratio 0.2
 //	benchcheck -file BENCH_core.json -multicore-case shards-8/gmp-8 -min-multicore-speedup 6 -require-steals
 //	benchcheck -file BENCH_core.json -min-hot-speedup 2
+//	benchcheck -file BENCH_core.json -min-snapshot-speedup 100
 //
 // The cached-planning gate divides the cold planning case's ns/op
 // (scorer and routing statistics computed from index scans, plan built
@@ -63,18 +64,21 @@ type report struct {
 
 func main() {
 	var (
-		file          = flag.String("file", "BENCH_core.json", "benchmark report to check")
-		caseName      = flag.String("case", "shards-8", "case name for the speedup gate")
-		minSpeedup    = flag.Float64("min-speedup", 2, "required speedup over the single-engine baseline (0 skips)")
-		allocCase     = flag.String("alloc-case", "single", "case name for the allocation gate")
-		maxAllocRatio = flag.Float64("max-alloc-ratio", 0, "required allocs/op ÷ baseline allocs/op ceiling (0 skips)")
-		mcCase        = flag.String("multicore-case", "shards-8/gmp-8", "case name for the multi-core gate")
-		minMCSpeedup  = flag.Float64("min-multicore-speedup", 0, "required multi-core speedup over the single-engine gmp=1 baseline (0 skips the gate)")
-		requireSteals = flag.Bool("require-steals", false, "with the multi-core gate: fail unless the case recorded work-stealing activity")
-		strictMC      = flag.Bool("strict-multicore", false, "fail (instead of skipping the speedup check) when the host has fewer cores than the case's GOMAXPROCS")
-		hotCase       = flag.String("hot-case", "plan-hot", "case name for the cached-planning gate")
-		coldCase      = flag.String("cold-case", "plan-cold", "baseline case name for the cached-planning gate")
-		minHotSpeedup = flag.Float64("min-hot-speedup", 0, "required cached-vs-cold planning speedup (0 skips the gate)")
+		file           = flag.String("file", "BENCH_core.json", "benchmark report to check")
+		caseName       = flag.String("case", "shards-8", "case name for the speedup gate")
+		minSpeedup     = flag.Float64("min-speedup", 2, "required speedup over the single-engine baseline (0 skips)")
+		allocCase      = flag.String("alloc-case", "single", "case name for the allocation gate")
+		maxAllocRatio  = flag.Float64("max-alloc-ratio", 0, "required allocs/op ÷ baseline allocs/op ceiling (0 skips)")
+		mcCase         = flag.String("multicore-case", "shards-8/gmp-8", "case name for the multi-core gate")
+		minMCSpeedup   = flag.Float64("min-multicore-speedup", 0, "required multi-core speedup over the single-engine gmp=1 baseline (0 skips the gate)")
+		requireSteals  = flag.Bool("require-steals", false, "with the multi-core gate: fail unless the case recorded work-stealing activity")
+		strictMC       = flag.Bool("strict-multicore", false, "fail (instead of skipping the speedup check) when the host has fewer cores than the case's GOMAXPROCS")
+		hotCase        = flag.String("hot-case", "plan-hot", "case name for the cached-planning gate")
+		coldCase       = flag.String("cold-case", "plan-cold", "baseline case name for the cached-planning gate")
+		minHotSpeedup  = flag.Float64("min-hot-speedup", 0, "required cached-vs-cold planning speedup (0 skips the gate)")
+		openCase       = flag.String("open-case", "snapshot-open", "case name for the snapshot cold-start gate")
+		buildCase      = flag.String("build-case", "full-build", "baseline case name for the snapshot cold-start gate")
+		minSnapSpeedup = flag.Float64("min-snapshot-speedup", 0, "required snapshot-open-vs-full-build speedup (0 skips the gate)")
 	)
 	flag.Parse()
 
@@ -98,6 +102,40 @@ func main() {
 	if *minHotSpeedup > 0 {
 		checkPlanning(&rep, *file, *hotCase, *coldCase, *minHotSpeedup)
 	}
+	if *minSnapSpeedup > 0 {
+		checkSnapshot(&rep, *file, *openCase, *buildCase, *minSnapSpeedup)
+	}
+}
+
+// checkSnapshot gates the mmap snapshot's cold-start win: opening the
+// snapshot must beat rebuilding the index/synopsis/keyword/layout state
+// from XML by the required factor. Both cases are wall times over the
+// same pinned corpus, so their ns/op ratio is the boot-time saving a
+// daemon sees from -snapshot.
+func checkSnapshot(rep *report, file, openName, buildName string, minSpeedup float64) {
+	find := func(name string) *benchCase {
+		for i := range rep.Cases {
+			if rep.Cases[i].Name == name {
+				return &rep.Cases[i]
+			}
+		}
+		return nil
+	}
+	open, build := find(openName), find(buildName)
+	if open == nil || build == nil {
+		fatal(fmt.Errorf("%s: missing case %q or %q (regenerate the report with whirlbench -bench-json; the snapshot cases need -bench-snapshot)",
+			file, openName, buildName))
+	}
+	if open.NsPerOp <= 0 || build.NsPerOp <= 0 {
+		fatal(fmt.Errorf("%s: cases %q/%q carry no ns/op", file, openName, buildName))
+	}
+	speedup := float64(build.NsPerOp) / float64(open.NsPerOp)
+	if speedup < minSpeedup {
+		fatal(fmt.Errorf("%s: snapshot open %.2fx over full build < required %.2fx (%s %d ns/op vs %s %d ns/op) — the mmap path is not collapsing cold start",
+			file, speedup, minSpeedup, openName, open.NsPerOp, buildName, build.NsPerOp))
+	}
+	fmt.Printf("benchcheck: snapshot open %.0fx over full build >= %.0fx (%s %d ns/op, %s %d ns/op)\n",
+		speedup, minSpeedup, openName, open.NsPerOp, buildName, build.NsPerOp)
 }
 
 // checkPlanning gates the planner cache: a hit must beat compiling a

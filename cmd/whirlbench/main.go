@@ -50,6 +50,7 @@ func main() {
 		benchFast  = flag.Bool("bench-short", false, "with -bench-json: smaller document and fewer rounds (CI short mode)")
 		benchGMP   = flag.String("bench-gmp", "1,4,8", "with -bench-json: comma-separated GOMAXPROCS sweep (must start at 1, the speedup baseline)")
 		benchHot   = flag.Bool("bench-hot", true, "with -bench-json: include the planning-path cases (plan-cold, plan-synopsis, plan-hot)")
+		benchSnap  = flag.Bool("bench-snapshot", true, "with -bench-json: include the cold-start cases (full-build, snapshot-write, snapshot-open)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to FILE")
 		memprofile = flag.String("memprofile", "", "write an allocs/heap profile to FILE on exit")
 	)
@@ -85,7 +86,7 @@ func main() {
 		defer f.Close()
 	}
 
-	err := dispatch(cfg, *trace, *benchJSON, *benchFast, *benchHot, *benchGMP, *shards, *fig, *tableNo, *ablations)
+	err := dispatch(cfg, *trace, *benchJSON, *benchFast, *benchHot, *benchSnap, *benchGMP, *shards, *fig, *tableNo, *ablations)
 
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -101,7 +102,7 @@ func main() {
 }
 
 // dispatch runs the experiment the flags selected.
-func dispatch(cfg bench.Config, trace, benchJSON string, benchFast, benchHot bool, benchGMP, shards string, fig, tableNo int, ablations bool) error {
+func dispatch(cfg bench.Config, trace, benchJSON string, benchFast, benchHot, benchSnap bool, benchGMP, shards string, fig, tableNo int, ablations bool) error {
 	switch {
 	case trace != "":
 		return dumpTrace(os.Stdout, cfg, trace)
@@ -110,7 +111,7 @@ func dispatch(cfg bench.Config, trace, benchJSON string, benchFast, benchHot boo
 		if err != nil {
 			return fmt.Errorf("-bench-gmp: %w", err)
 		}
-		return bench.BenchCore(os.Stdout, benchJSON, benchFast, gmps, benchHot)
+		return bench.BenchCore(os.Stdout, benchJSON, benchFast, gmps, benchHot, benchSnap)
 	case shards != "":
 		counts, err := parseCounts(shards)
 		if err != nil {

@@ -33,28 +33,60 @@ func main() {
 		exact     = flag.Bool("exact", false, "exact matches only (no relaxation)")
 		stats     = flag.Bool("stats", false, "print evaluation statistics")
 		bindings  = flag.Bool("bindings", false, "print per-answer bindings")
+		saveSnap  = flag.String("save-snapshot", "", "write a zero-copy mmap snapshot (.wpxs) to this path; -query becomes optional")
+		snShards  = flag.String("snapshot-shards", "", "comma-separated shard counts to persist layouts for (with -save-snapshot)")
+		snScopes  = flag.String("snapshot-keyword", "", "comma-separated keyword scope tags to persist (with -save-snapshot)")
 	)
 	flag.Parse()
-	if *file == "" || *queryStr == "" {
+	if *file == "" || (*queryStr == "" && *saveSnap == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, *queryStr, *k, *algorithm, *routing, *queue, *norm, *exact, *stats, *bindings); err != nil {
+	if err := run(*file, *queryStr, *k, *algorithm, *routing, *queue, *norm, *exact, *stats, *bindings,
+		*saveSnap, *snShards, *snScopes); err != nil {
 		fmt.Fprintln(os.Stderr, "whirlpool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, queryStr string, k int, algorithm, routing, queue, norm string, exact, stats, bindings bool) error {
+func run(file, queryStr string, k int, algorithm, routing, queue, norm string, exact, stats, bindings bool,
+	saveSnap, snShards, snScopes string) error {
 	var db *whirlpool.Database
 	var err error
-	if strings.HasSuffix(file, ".wpx") {
+	if strings.HasSuffix(file, ".wpx") || strings.HasSuffix(file, ".wpxs") {
 		db, err = whirlpool.Open(file)
 	} else {
 		db, err = whirlpool.LoadFile(file)
 	}
 	if err != nil {
 		return err
+	}
+	defer db.Close()
+	if saveSnap != "" {
+		opts := whirlpool.SnapshotOptions{}
+		if snShards != "" {
+			for _, s := range strings.Split(snShards, ",") {
+				var p int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &p); err != nil || p < 1 {
+					return fmt.Errorf("bad -snapshot-shards entry %q", s)
+				}
+				opts.Shards = append(opts.Shards, p)
+			}
+		}
+		if snScopes != "" {
+			for _, s := range strings.Split(snScopes, ",") {
+				opts.KeywordScopes = append(opts.KeywordScopes, strings.TrimSpace(s))
+			}
+		}
+		if err := db.SaveSnapshot(saveSnap, opts); err != nil {
+			return err
+		}
+		if fi, err := os.Stat(saveSnap); err == nil {
+			fmt.Printf("snapshot: %s (%d bytes, %d nodes)\n", saveSnap, fi.Size(), db.Size())
+		}
+		if queryStr == "" {
+			return nil
+		}
 	}
 	q, err := whirlpool.ParseQuery(queryStr)
 	if err != nil {

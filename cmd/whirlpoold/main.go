@@ -3,6 +3,13 @@
 // queries with the Whirlpool engine.
 //
 //	whirlpoold -file site.xml -addr :8080
+//	whirlpoold -snapshot site.wpxs -addr :8080   # mmap, no build pass
+//
+// -snapshot boots from a zero-copy v2 snapshot: postings, Dewey arrays,
+// synopsis and shard layouts are served straight from mapped pages, so
+// startup skips the parse/index/synopsis builds entirely and concurrent
+// daemons share one kernel page cache. A -file given alongside acts as a
+// fallback when the snapshot is missing or corrupt.
 //
 // Endpoints:
 //
@@ -37,34 +44,56 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 )
 
 func main() {
 	var (
-		file      = flag.String("file", "", "XML file or .wpx snapshot to serve (required)")
+		file      = flag.String("file", "", "XML file or .wpx snapshot to serve")
+		snapshot  = flag.String("snapshot", "", "boot from a zero-copy mmap snapshot (.wpxs); falls back to -file on error")
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheSize = flag.Int("cache", defaultCacheSize, "max cached engines / keyword indexes (LRU)")
 		accessLog = flag.Bool("access-log", false, "log one structured JSON line per request to stderr")
 		shards    = flag.Int("shards", 1, "partition the document into N shards evaluated in parallel per query")
 	)
 	flag.Parse()
-	if *file == "" {
+	if *file == "" && *snapshot == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	var db *whirlpool.Database
 	var err error
-	if strings.HasSuffix(*file, ".wpx") {
-		db, err = whirlpool.Open(*file)
-	} else {
-		db, err = whirlpool.LoadFile(*file)
+	var openTook time.Duration
+	served := *file
+	if *snapshot != "" {
+		start := time.Now()
+		db, err = whirlpool.OpenSnapshot(*snapshot)
+		openTook = time.Since(start)
+		if err != nil {
+			if *file == "" {
+				log.Fatal(err)
+			}
+			log.Printf("whirlpoold: snapshot %s unusable (%v), rebuilding from %s", *snapshot, err, *file)
+		} else {
+			served = *snapshot
+		}
 	}
-	if err != nil {
-		log.Fatal(err)
+	if db == nil {
+		if strings.HasSuffix(*file, ".wpx") || strings.HasSuffix(*file, ".wpxs") {
+			db, err = whirlpool.Open(*file)
+		} else {
+			db, err = whirlpool.LoadFile(*file)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	opts := serverOptions{CacheSize: *cacheSize, Shards: *shards}
+	if db.SnapshotBacked() {
+		opts.SnapshotOpen = openTook
+	}
 	if *accessLog {
 		opts.AccessLog = log.New(os.Stderr, "", 0)
 	}
@@ -72,10 +101,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	mode := ""
+	if db.SnapshotBacked() {
+		mode = ", mmap snapshot"
+	}
 	if *shards > 1 {
-		log.Printf("whirlpoold: serving %s (%d nodes, %d shards) on %s", *file, db.Size(), *shards, *addr)
+		log.Printf("whirlpoold: serving %s (%d nodes, %d shards%s) on %s", served, db.Size(), *shards, mode, *addr)
 	} else {
-		log.Printf("whirlpoold: serving %s (%d nodes) on %s", *file, db.Size(), *addr)
+		log.Printf("whirlpoold: serving %s (%d nodes%s) on %s", served, db.Size(), mode, *addr)
 	}
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)

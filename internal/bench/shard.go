@@ -299,8 +299,10 @@ type benchReport struct {
 // layouts as "shards-N/gmp-M" so the report shows how the same layout
 // scales with scheduler width. hot adds the planning-path cases
 // (plan-cold / plan-synopsis / plan-hot, see planCases) the
-// cached-planning gate checks.
-func BenchCore(out io.Writer, path string, short bool, gmps []int, hot bool) error {
+// cached-planning gate checks. snap adds the cold-start cases
+// (full-build / snapshot-write / snapshot-open, see snapshotCases) the
+// snapshot-speedup gate checks.
+func BenchCore(out io.Writer, path string, short bool, gmps []int, hot, snap bool) error {
 	cfg := Config{Seed: 1, K: 15, OpCost: -1}.withDefaults()
 	cfg.OpCost = 0
 	target, rounds := 8<<20, 5
@@ -394,6 +396,13 @@ func BenchCore(out io.Writer, path string, short bool, gmps []int, hot bool) err
 			return err
 		}
 		rep.Cases = append(rep.Cases, pcs...)
+	}
+	if snap {
+		scs, err := snapshotCases(out, env, rounds)
+		if err != nil {
+			return err
+		}
+		rep.Cases = append(rep.Cases, scs...)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -17,10 +17,10 @@ func TestParseNumParity(t *testing.T) {
 		"39.97", "157.42", "0.01", "-12.5", "+3.25",
 		".5", "5.", "-.75",
 		"1e3", "1E3", "2.5e-4", "-1.25E+6", "1e0",
-		"9007199254740993",     // 2^53+1: first integer float64 cannot hold
-		"123456789.123456789",  // > 15 significant digits
+		"9007199254740993",       // 2^53+1: first integer float64 cannot hold
+		"123456789.123456789",    // > 15 significant digits
 		"1.7976931348623157e308", // MaxFloat64
-		"5e-324",               // SmallestNonzeroFloat64
+		"5e-324",                 // SmallestNonzeroFloat64
 		"0.000000000000000000000000001",
 	}
 	for _, s := range cases {

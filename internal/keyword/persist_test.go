@@ -1,0 +1,98 @@
+package keyword
+
+import (
+	"testing"
+
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+// TestKeywordFlattenRoundTrip checks that Flatten → Unflatten rebuilds
+// an index that answers identically to the original on a real corpus.
+// Round-trip scores must be bit-identical, not merely close — the
+// persisted IDF columns are the same float64 bits.
+//
+// +whirllint:exactscore round-trip equality is exact by construction
+func TestKeywordFlattenRoundTrip(t *testing.T) {
+	doc, err := xmark.Generate(xmark.Options{Seed: 3, Items: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Build(doc, "item")
+	got, err := Unflatten(doc, orig.Flatten())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scopes() != orig.Scopes() || got.ScopeTag() != orig.ScopeTag() {
+		t.Fatalf("scope mismatch: %d/%s vs %d/%s", got.Scopes(), got.ScopeTag(), orig.Scopes(), orig.ScopeTag())
+	}
+	for w, list := range orig.postings {
+		if got.IDF(w) != orig.IDF(w) {
+			t.Fatalf("idf(%q): %v vs %v", w, got.IDF(w), orig.IDF(w))
+		}
+		gl := got.Postings(w)
+		if len(gl) != len(list) {
+			t.Fatalf("postings(%q): %d vs %d entries", w, len(gl), len(list))
+		}
+		for i := range list {
+			if gl[i].Node != list[i].Node || gl[i].TF != list[i].TF {
+				t.Fatalf("postings(%q)[%d]: %v/%d vs %v/%d", w, i, gl[i].Node, gl[i].TF, list[i].Node, list[i].TF)
+			}
+		}
+	}
+	for _, q := range []string{"gold", "creditcard gold", "shakespeare honour", "xyzzy"} {
+		a1, _, err1 := orig.TopKTA(q, 5)
+		a2, _, err2 := got.TopKTA(q, 5)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("TopKTA(%q) error divergence: %v vs %v", q, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if len(a1) != len(a2) {
+			t.Fatalf("TopKTA(%q): %d vs %d answers", q, len(a1), len(a2))
+		}
+		for i := range a1 {
+			if a1[i].Node != a2[i].Node || a1[i].Score != a2[i].Score {
+				t.Fatalf("TopKTA(%q)[%d]: %v/%v vs %v/%v", q, i, a1[i].Node, a1[i].Score, a2[i].Node, a2[i].Score)
+			}
+		}
+	}
+}
+
+// TestKeywordUnflattenRejectsMalformed checks corrupted column data
+// errors instead of panicking.
+func TestKeywordUnflattenRejectsMalformed(t *testing.T) {
+	doc, err := xmltree.ParseString(shopXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Build(doc, "item").Flatten()
+	mutate := map[string]func(f *Flat){
+		"nil":             nil,
+		"bad-scope-ord":   func(f *Flat) { f.ScopeOrds[0] = int32(len(doc.Nodes)) },
+		"neg-scope-ord":   func(f *Flat) { f.ScopeOrds[0] = -1 },
+		"bad-entry-ord":   func(f *Flat) { f.EntryOrd[0] = int32(len(doc.Nodes)) },
+		"bad-word-off":    func(f *Flat) { f.WordOff[1] = int32(len(f.Words)) + 9 },
+		"bad-post-off":    func(f *Flat) { f.PostOff[len(f.PostOff)-1] = int32(len(f.EntryOrd)) + 2 },
+		"offsets-cross":   func(f *Flat) { f.PostOff[1] = f.PostOff[0] - 1 },
+		"short-tf-column": func(f *Flat) { f.EntryTF = f.EntryTF[:1] },
+		"short-post-offs": func(f *Flat) { f.PostOff = f.PostOff[:len(f.PostOff)-1] },
+	}
+	for name, fn := range mutate {
+		var f *Flat
+		if fn != nil {
+			clone := *base
+			clone.ScopeOrds = append([]int32(nil), base.ScopeOrds...)
+			clone.WordOff = append([]int32(nil), base.WordOff...)
+			clone.PostOff = append([]int32(nil), base.PostOff...)
+			clone.EntryOrd = append([]int32(nil), base.EntryOrd...)
+			clone.EntryTF = append([]int32(nil), base.EntryTF...)
+			fn(&clone)
+			f = &clone
+		}
+		if _, err := Unflatten(doc, f); err == nil {
+			t.Errorf("%s: corrupted flat form unflattened without error", name)
+		}
+	}
+}

@@ -39,8 +39,10 @@ type Part struct {
 	// Doc is the part's view: Roots are the units, Nodes their subtrees
 	// in global preorder. Node ordinals are NOT re-numbered.
 	Doc *xmltree.Document
-	// Ix indexes the view.
-	Ix *index.Index
+	// Ix is the part's access path: an index.Index built over the view
+	// (Split), or a snapshot-backed source serving the same probes from
+	// mapped postings (FromLayout).
+	Ix index.Source
 	// NodeCount is the number of nodes in the part.
 	NodeCount int
 }

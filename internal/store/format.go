@@ -50,15 +50,22 @@ func (e *enc) bytes(b []byte) {
 func (e *enc) str(s string) { e.bytes([]byte(s)) }
 
 // dec is a sequential varint decoder with positional error reporting.
+// base shifts reported offsets so a decoder handed a sub-slice (a
+// postings span) still names the absolute file offset.
 type dec struct {
-	buf []byte
-	pos int
+	buf  []byte
+	pos  int
+	base int
 }
 
 func (d *dec) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(d.buf[d.pos:])
 	if n <= 0 {
-		return 0, fmt.Errorf("store: corrupt varint at offset %d", d.pos)
+		if d.pos >= len(d.buf) {
+			return 0, fmt.Errorf("store: short read: need a varint at offset %d but the file ends at %d",
+				d.base+d.pos, d.base+len(d.buf))
+		}
+		return 0, fmt.Errorf("store: corrupt varint at offset %d", d.base+d.pos)
 	}
 	d.pos += n
 	return v, nil
@@ -71,7 +78,7 @@ func (d *dec) int() (int, error) {
 	}
 	const maxInt = int(^uint(0) >> 1)
 	if v > uint64(maxInt) {
-		return 0, fmt.Errorf("store: value %d overflows int at offset %d", v, d.pos)
+		return 0, fmt.Errorf("store: value %d overflows int at offset %d", v, d.base+d.pos)
 	}
 	return int(v), nil
 }
@@ -82,7 +89,8 @@ func (d *dec) bytes() ([]byte, error) {
 		return nil, err
 	}
 	if d.pos+n > len(d.buf) {
-		return nil, fmt.Errorf("store: truncated %d-byte field at offset %d", n, d.pos)
+		return nil, fmt.Errorf("store: short read: %d-byte field at offset %d overruns the file end at %d",
+			n, d.base+d.pos, d.base+len(d.buf))
 	}
 	b := d.buf[d.pos : d.pos+n]
 	d.pos += n
@@ -111,8 +119,10 @@ func (d *dec) skipOrds() (start, end, count int, err error) {
 }
 
 // decodeOrds decodes a delta-encoded ordinal list from a byte range.
-func decodeOrds(buf []byte, count int) ([]int, error) {
-	d := &dec{buf: buf}
+// base is the range's offset within the snapshot file, so corruption
+// errors name the absolute position.
+func decodeOrds(buf []byte, count int, base int) ([]int, error) {
+	d := &dec{buf: buf, base: base}
 	out := make([]int, count)
 	prev := -1
 	for i := 0; i < count; i++ {

@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/keyword"
+	"repro/internal/synopsis"
 	"repro/internal/xmltree"
 )
 
@@ -57,5 +61,80 @@ func FuzzParseSnapshot(f *testing.F) {
 			_ = r.CountTag(tag)
 		}
 		_ = r.Verify()
+	})
+}
+
+// FuzzSnapshotV2Corruption feeds arbitrary and mutated-valid bytes to
+// the v2 mmap-format decoder. Truncations, flipped bytes, bad magic,
+// versions and checksums must all surface as errors — never a panic —
+// and anything the decoder does accept must serve structurally
+// consistent candidates.
+func FuzzSnapshotV2Corruption(f *testing.F) {
+	for _, xml := range []string{
+		`<a/>`,
+		`<a><b>x</b><b>y</b></a>`,
+		`<site><item id="1"><name>gold</name><desc>aa bb</desc></item></site>`,
+	} {
+		doc, err := xmltree.ParseString(xml)
+		if err != nil {
+			f.Fatal(err)
+		}
+		snap := &Snapshot{Doc: doc, Synopsis: synopsis.Build(doc).Flatten()}
+		if len(doc.Nodes) > 0 {
+			snap.Keyword = []*keyword.Flat{keyword.Build(doc, doc.Nodes[0].Tag).Flatten()}
+			snap.Shards = []ShardLayout{{P: 1, Units: [][]int{{0}}}}
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, snap); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		raw := buf.Bytes()
+		for _, off := range []int{0, 4, 12, 24, 28, headerSize + 8, len(raw) / 2, len(raw) - 1} {
+			mutated := append([]byte{}, raw...)
+			mutated[off] ^= 0x01
+			f.Add(mutated)
+		}
+		f.Add(raw[:len(raw)/2])
+		f.Add(raw[:headerSize])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("WPXS"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := ParseSnapshot(raw)
+		if err != nil {
+			return
+		}
+		doc := r.Document()
+		for i, n := range doc.Nodes {
+			if n.Ord != i {
+				t.Fatalf("ordinal mismatch at %d", i)
+			}
+			if n.Parent != nil && n.Parent.Ord >= i {
+				t.Fatalf("parent after child at %d", i)
+			}
+		}
+		for _, tag := range r.tags {
+			nodes := r.Nodes(tag)
+			if len(nodes) != r.CountTag(tag) {
+				t.Fatalf("Nodes/CountTag disagree for %q", tag)
+			}
+			for _, root := range doc.Roots {
+				_ = r.Candidates(root, dewey.Descendant, tag, index.Test("contains", "a"))
+				_ = r.TF(root, dewey.Descendant, tag, index.ValueTest{})
+			}
+		}
+		for _, scope := range r.KeywordScopes() {
+			_, _, _ = r.Keyword(scope)
+		}
+		for _, p := range r.ShardCounts() {
+			lay, _ := r.Layout(p)
+			for _, part := range lay.Units {
+				if _, err := r.PartSource(part); err != nil {
+					t.Fatalf("persisted layout rejected: %v", err)
+				}
+			}
+		}
 	})
 }

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; OpenSnapshot falls back to
+// reading the file into an aligned heap buffer.
+func mmapFile(f *os.File, size int) (data []byte, release func() error, err error) {
+	return nil, nil, fmt.Errorf("store: mmap unsupported on this platform")
+}
+
+const mmapSupported = false

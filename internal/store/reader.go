@@ -91,7 +91,7 @@ func Parse(raw []byte) (*Reader, error) {
 	tags := make([]string, tagCnt)
 	for i := range tags {
 		if tags[i], err = d.str(); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: tag table entry %d of %d: %w", i, tagCnt, err)
 		}
 	}
 
@@ -100,18 +100,18 @@ func Parse(raw []byte) (*Reader, error) {
 	for ord := 0; ord < nodeCnt; ord++ {
 		tagID, err := d.int()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: node record %d of %d: %w", ord, nodeCnt, err)
 		}
 		if tagID >= tagCnt {
 			return nil, fmt.Errorf("store: node %d references tag %d of %d", ord, tagID, tagCnt)
 		}
 		parentRef, err := d.int()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: node record %d of %d: %w", ord, nodeCnt, err)
 		}
 		value, err := d.str()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: node record %d of %d: %w", ord, nodeCnt, err)
 		}
 		n := &xmltree.Node{Tag: tags[tagID], Value: value, Ord: ord}
 		if parentRef == 0 {
@@ -151,14 +151,14 @@ func Parse(raw []byte) (*Reader, error) {
 	for i := 0; i < postCnt; i++ {
 		tagID, err := d.int()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: tag postings entry %d of %d: %w", i, postCnt, err)
 		}
 		if tagID >= tagCnt {
 			return nil, fmt.Errorf("store: postings reference tag %d of %d", tagID, tagCnt)
 		}
 		start, end, count, err := d.skipOrds()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: tag postings entry %d of %d (tag %q): %w", i, postCnt, tags[tagID], err)
 		}
 		r.tagPost[tags[tagID]] = span{start, end, count}
 	}
@@ -172,18 +172,18 @@ func Parse(raw []byte) (*Reader, error) {
 	for i := 0; i < valCnt; i++ {
 		tagID, err := d.int()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: value postings entry %d of %d: %w", i, valCnt, err)
 		}
 		if tagID >= tagCnt {
 			return nil, fmt.Errorf("store: value postings reference tag %d of %d", tagID, tagCnt)
 		}
 		value, err := d.str()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: value postings entry %d of %d: %w", i, valCnt, err)
 		}
 		start, end, count, err := d.skipOrds()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("store: value postings entry %d of %d (tag %q): %w", i, valCnt, tags[tagID], err)
 		}
 		r.valPost[valueKey(tags[tagID], value)] = span{start, end, count}
 	}
@@ -201,7 +201,7 @@ func (r *Reader) Document() *xmltree.Document { return r.doc }
 // decode materializes one postings list.
 // +whirllint:allocok cache-miss materialization of one postings list; results are LRU-cached
 func (r *Reader) decode(sp span) ([]*xmltree.Node, error) {
-	ords, err := decodeOrds(r.raw[sp.start:sp.end], sp.count)
+	ords, err := decodeOrds(r.raw[sp.start:sp.end], sp.count, sp.start)
 	if err != nil {
 		return nil, err
 	}

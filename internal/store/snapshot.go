@@ -1,0 +1,1199 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dewey"
+	"repro/internal/index"
+	"repro/internal/keyword"
+	"repro/internal/synopsis"
+	"repro/internal/xmltree"
+)
+
+// SnapshotReader serves a v2 snapshot as an index.Source. Postings,
+// Dewey components, node values and the synopsis statistic arrays all
+// alias the snapshot bytes — when the file was mmapped, structural
+// probes are answered straight from the kernel page cache, shared by
+// every process that has the same snapshot open. The only per-corpus
+// heap cost is the node slab (Tag/Parent/Children wiring the engine's
+// *xmltree.Node API requires).
+//
+// Everything a SnapshotReader or any structure derived from it hands
+// out (node values, Dewey IDs, synopsis arrays) stays valid until
+// Close; see DESIGN.md "Snapshot storage" for the ownership rules.
+type SnapshotReader struct {
+	data    []byte
+	release func() error
+	mapped  bool
+
+	tags   []string // aliases the tag blob
+	tagIDs map[string]int
+
+	// The node slab is materialized lazily on first touch (Document,
+	// PartSource, the first plan-time enumeration): every input column is
+	// validated at open, so materialization cannot fail, and opening a
+	// snapshot stays O(map + checksum + validation) — the per-process
+	// boot cost N daemons sharing one page cache each pay. docReady
+	// gates the fast path with one atomic load; mu guards the build.
+	docReady atomic.Bool
+	nodes    []xmltree.Node
+	doc      *xmltree.Document
+
+	// Validated column views feeding the lazy materialization; all alias
+	// the snapshot.
+	n        int // node count
+	nodeTags []uint32
+	parents  []uint32 // parent ordinal + 1, 0 = forest root
+	valOff   []uint32
+	valBlob  []byte
+	dewOff   []uint32
+	dewComps []int
+
+	subtree     []uint32 // subtree size per ordinal
+	tagPostOff  []uint32
+	tagPostOrds []uint32
+	valTags     []uint32
+	valKeyOff   []uint32
+	valKeys     []byte
+	valPostOff  []uint32
+	valPostOrds []uint32
+
+	syn        *synopsis.Synopsis
+	keywordSec map[string]section
+	layouts    map[int]ShardLayout
+
+	mu       sync.Mutex
+	matTag   map[string][]*xmltree.Node // cache: tag postings as node pointers
+	filtered map[string][]*xmltree.Node // cache: non-any value tests
+}
+
+var _ index.Source = (*SnapshotReader)(nil)
+
+// OpenSnapshot maps the snapshot at path and wires a reader over it.
+// The file is mmapped read-only when the platform allows it; otherwise
+// (or if the mapping fails) it is read into memory, preserving behavior
+// at the cost of sharing. Validation — header, CRC-32C over the body,
+// section table, and every structural invariant the probe paths rely
+// on — happens here, so corruption fails at open with a positioned
+// error instead of surfacing at query time.
+func OpenSnapshot(path string) (*SnapshotReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("store: snapshot %s: %d bytes exceed the address space", path, size)
+	}
+	var (
+		data    []byte
+		release func() error
+		mapped  bool
+	)
+	if mmapSupported {
+		data, release, err = mmapFile(f, int(size))
+		mapped = err == nil
+	}
+	if !mapped {
+		data = make([]byte, size)
+		if _, err := f.ReadAt(data, 0); err != nil {
+			return nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+		}
+		release = nil
+	}
+	r, err := newSnapshotReader(data, release, mapped)
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// ParseSnapshot wires a reader over an in-memory snapshot image. Used
+// by tests and the corruption fuzzer; OpenSnapshot is the mmap path.
+func ParseSnapshot(data []byte) (*SnapshotReader, error) {
+	return newSnapshotReader(data, nil, false)
+}
+
+// Close releases the mapping. After Close no node, value, Dewey ID or
+// synopsis obtained from the reader may be used.
+func (r *SnapshotReader) Close() error {
+	rel := r.release
+	r.release = nil
+	if rel != nil {
+		return rel()
+	}
+	return nil
+}
+
+// Mapped reports whether the reader serves from an mmapped file (true)
+// or a heap copy (false).
+func (r *SnapshotReader) Mapped() bool { return r.mapped }
+
+// SizeBytes returns the snapshot file size.
+func (r *SnapshotReader) SizeBytes() int { return len(r.data) }
+
+// Document returns the document, materializing the node slab on first
+// call. Node values and Dewey IDs alias the snapshot.
+func (r *SnapshotReader) Document() *xmltree.Document {
+	r.ensureDoc()
+	return r.doc
+}
+
+// Synopsis returns the persisted structure synopsis, or nil if the
+// snapshot was written without one.
+func (r *SnapshotReader) Synopsis() *synopsis.Synopsis { return r.syn }
+
+// KeywordScopes lists the scope tags with persisted keyword indexes.
+func (r *SnapshotReader) KeywordScopes() []string {
+	out := make([]string, 0, len(r.keywordSec))
+	for tag := range r.keywordSec {
+		out = append(out, tag)
+	}
+	return out
+}
+
+// ShardCounts lists the shard counts with persisted partition layouts.
+func (r *SnapshotReader) ShardCounts() []int {
+	out := make([]int, 0, len(r.layouts))
+	for p := range r.layouts {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Layout returns the persisted partition layout for p shards, if any.
+func (r *SnapshotReader) Layout(p int) (ShardLayout, bool) {
+	l, ok := r.layouts[p]
+	return l, ok
+}
+
+// sectionSizes maps kinds to their element width for length validation;
+// 1 marks byte blobs.
+var sectionSizes = map[uint32]uint64{
+	secTagOffsets: 4, secTagBlob: 1, secNodeTags: 4, secNodeParents: 4,
+	secSubtree: 4, secValueOffsets: 4, secValueBlob: 1, secDeweyOffsets: 4,
+	secDeweyComps: 8, secTagPostOff: 4, secTagPostOrds: 4, secValPostTags: 4,
+	secValPostKeyOff: 4, secValPostKeys: 1, secValPostOff: 4, secValPostOrds: 4,
+	secKeyword: 0, secShardSpine: 4, secShardUnits: 4,
+	secSynMeta: 8, secSynTagIDs: 4, secSynTagCount: 8, secSynTagValued: 8,
+	secSynPathParent: 4, secSynPathTag: 4, secSynPathCount: 8,
+	secSynDescPath: 4, secSynDescTag: 4, secSynDescOff: 8, secSynArrays: 8,
+}
+
+func newSnapshotReader(data []byte, release func() error, mapped bool) (*SnapshotReader, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	secs, err := parseSections(data, h)
+	if err != nil {
+		return nil, err
+	}
+	r := &SnapshotReader{
+		data:       data,
+		release:    release,
+		mapped:     mapped,
+		keywordSec: make(map[string]section),
+		layouts:    make(map[int]ShardLayout),
+		matTag:     make(map[string][]*xmltree.Node),
+		filtered:   make(map[string][]*xmltree.Node),
+	}
+	single := make(map[uint32]section)
+	spines := make(map[int32]section)
+	unitSecs := make(map[int32]section)
+	var kwSecs []section
+	for i, s := range secs {
+		elem, known := sectionSizes[s.kind]
+		if !known {
+			continue // forward compatibility: unknown kinds are skipped
+		}
+		if elem > 1 && (s.len%elem != 0 || s.count != s.len/elem) {
+			return nil, fmt.Errorf("store: %s section length %d does not hold %d %d-byte entries (table entry %d)",
+				sectionName(s.kind), s.len, s.count, elem, i)
+		}
+		if elem == 1 && s.len != s.count {
+			return nil, fmt.Errorf("store: %s section length %d disagrees with count %d (table entry %d)",
+				sectionName(s.kind), s.len, s.count, i)
+		}
+		switch s.kind {
+		case secKeyword:
+			kwSecs = append(kwSecs, s)
+		case secShardSpine:
+			spines[s.shard] = s
+		case secShardUnits:
+			unitSecs[s.shard] = s
+		default:
+			if _, dup := single[s.kind]; dup {
+				return nil, fmt.Errorf("store: duplicate %s section (table entry %d)", sectionName(s.kind), i)
+			}
+			single[s.kind] = s
+		}
+	}
+	get := func(kind uint32) (section, error) {
+		s, ok := single[kind]
+		if !ok {
+			return section{}, fmt.Errorf("store: snapshot is missing the %s section", sectionName(kind))
+		}
+		return s, nil
+	}
+	if err := r.loadTags(get); err != nil {
+		return nil, err
+	}
+	for _, s := range kwSecs {
+		if err := r.registerKeyword(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.loadNodes(get); err != nil {
+		return nil, err
+	}
+	if err := r.loadPostings(get); err != nil {
+		return nil, err
+	}
+	if _, hasSyn := single[secSynMeta]; hasSyn {
+		if err := r.loadSynopsis(get); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.loadLayouts(spines, unitSecs); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadTags materializes the tag table; the strings alias the blob.
+func (r *SnapshotReader) loadTags(get func(uint32) (section, error)) error {
+	offSec, err := get(secTagOffsets)
+	if err != nil {
+		return err
+	}
+	blobSec, err := get(secTagBlob)
+	if err != nil {
+		return err
+	}
+	off := u32view(offSec.data(r.data))
+	blob := blobSec.data(r.data)
+	if len(off) == 0 || off[0] != 0 || uint64(off[len(off)-1]) != blobSec.len {
+		return fmt.Errorf("store: tag offsets do not span the %d-byte tag blob (section at offset %d)", blobSec.len, offSec.off)
+	}
+	r.tags = make([]string, len(off)-1)
+	r.tagIDs = make(map[string]int, len(off)-1)
+	for i := range r.tags {
+		if off[i] > off[i+1] {
+			return fmt.Errorf("store: tag offsets decrease at entry %d (section at offset %d)", i, offSec.off)
+		}
+		r.tags[i] = byteString(blob[off[i]:off[i+1]])
+		r.tagIDs[r.tags[i]] = i
+	}
+	return nil
+}
+
+// loadNodes validates the per-node columns — tag ids, parent ordering,
+// subtree sizes, value and Dewey offsets — and stashes their views. The
+// node slab itself is built lazily (see materialize): validation here
+// guarantees the build cannot fail, so corruption still surfaces at
+// open while the open path stays free of the O(n) heap materialization.
+func (r *SnapshotReader) loadNodes(get func(uint32) (section, error)) error {
+	tagSec, err := get(secNodeTags)
+	if err != nil {
+		return err
+	}
+	parSec, err := get(secNodeParents)
+	if err != nil {
+		return err
+	}
+	subSec, err := get(secSubtree)
+	if err != nil {
+		return err
+	}
+	valOffSec, err := get(secValueOffsets)
+	if err != nil {
+		return err
+	}
+	valBlobSec, err := get(secValueBlob)
+	if err != nil {
+		return err
+	}
+	dewOffSec, err := get(secDeweyOffsets)
+	if err != nil {
+		return err
+	}
+	dewCompSec, err := get(secDeweyComps)
+	if err != nil {
+		return err
+	}
+	n := int(tagSec.count)
+	if parSec.count != uint64(n) || subSec.count != uint64(n) {
+		return fmt.Errorf("store: node sections disagree on the node count (%d tags, %d parents, %d subtree sizes)",
+			tagSec.count, parSec.count, subSec.count)
+	}
+	if valOffSec.count != uint64(n)+1 || dewOffSec.count != uint64(n)+1 {
+		return fmt.Errorf("store: offset sections want %d entries, have %d value and %d dewey offsets",
+			n+1, valOffSec.count, dewOffSec.count)
+	}
+	r.n = n
+	r.nodeTags = u32view(tagSec.data(r.data))
+	r.parents = u32view(parSec.data(r.data))
+	r.subtree = u32view(subSec.data(r.data))
+	r.valOff = u32view(valOffSec.data(r.data))
+	r.valBlob = valBlobSec.data(r.data)
+	r.dewOff = u32view(dewOffSec.data(r.data))
+	r.dewComps = intview(dewCompSec.data(r.data))
+
+	if err := checkOffsets(r.valOff, uint32(valBlobSec.len), "value offsets", valOffSec.off); err != nil {
+		return err
+	}
+	if err := checkOffsets(r.dewOff, uint32(dewCompSec.count), "dewey offsets", dewOffSec.off); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if int(r.nodeTags[i]) >= len(r.tags) {
+			return fmt.Errorf("store: node %d has tag id %d, only %d tags (node tags section at offset %d)",
+				i, r.nodeTags[i], len(r.tags), tagSec.off)
+		}
+		if p := r.parents[i]; p != 0 && int(p)-1 >= i {
+			return fmt.Errorf("store: node %d has parent %d at or after it (node parents section at offset %d)",
+				i, p-1, parSec.off)
+		}
+		if s := r.subtree[i]; s < 1 || uint64(i)+uint64(s) > uint64(n) {
+			return fmt.Errorf("store: node %d has subtree size %d in a %d-node document (subtree section at offset %d)",
+				i, s, n, subSec.off)
+		}
+	}
+	return nil
+}
+
+// ensureDoc materializes the node slab exactly once. The fast path is a
+// single atomic load, cheap enough for probe entry points.
+// +whirllint:hotpath
+func (r *SnapshotReader) ensureDoc() {
+	if r.docReady.Load() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.docReady.Load() {
+		r.materialize()
+		r.docReady.Store(true)
+	}
+}
+
+// materialize builds the node slab: one xmltree.Node per ordinal with
+// values and Dewey IDs aliasing the snapshot, children wired through a
+// single CSR slab. Every input was validated at open, so this cannot
+// fail. Called once under r.mu (see ensureDoc).
+// +whirllint:allocok one-time deferred slab build on first touch; every later ensureDoc is a single atomic load
+func (r *SnapshotReader) materialize() {
+	n := r.n
+	childCnt := make([]int32, n)
+	for i := 0; i < n; i++ {
+		if p := r.parents[i]; p != 0 {
+			childCnt[p-1]++
+		}
+	}
+	// CSR child slab: one allocation wires every Children slice.
+	childOff := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		childOff[i+1] = childOff[i] + childCnt[i]
+	}
+	childSlab := make([]*xmltree.Node, childOff[n])
+	cursor := childCnt // reuse the count slab as the fill cursor
+	copy(cursor, childOff[:n])
+
+	r.nodes = make([]xmltree.Node, n)
+	ptrs := make([]*xmltree.Node, n)
+	var roots []*xmltree.Node
+	for i := 0; i < n; i++ {
+		nd := &r.nodes[i]
+		ptrs[i] = nd
+		nd.Tag = r.tags[r.nodeTags[i]]
+		nd.Value = byteString(r.valBlob[r.valOff[i]:r.valOff[i+1]])
+		nd.ID = dewey.ID(r.dewComps[r.dewOff[i]:r.dewOff[i+1]])
+		nd.Ord = i
+		nd.Children = childSlab[childOff[i]:childOff[i+1]:childOff[i+1]]
+		if p := r.parents[i]; p != 0 {
+			nd.Parent = &r.nodes[p-1]
+			childSlab[cursor[p-1]] = nd
+			cursor[p-1]++
+		} else {
+			roots = append(roots, nd)
+		}
+	}
+	r.doc = &xmltree.Document{Roots: roots, Nodes: ptrs}
+}
+
+// loadPostings validates the tag and (tag, value) postings; all arrays
+// stay views of the snapshot.
+func (r *SnapshotReader) loadPostings(get func(uint32) (section, error)) error {
+	n := r.n
+	tpoSec, err := get(secTagPostOff)
+	if err != nil {
+		return err
+	}
+	tpSec, err := get(secTagPostOrds)
+	if err != nil {
+		return err
+	}
+	if tpoSec.count != uint64(len(r.tags))+1 || tpSec.count != uint64(n) {
+		return fmt.Errorf("store: tag postings hold %d offsets and %d ordinals, want %d and %d",
+			tpoSec.count, tpSec.count, len(r.tags)+1, n)
+	}
+	r.tagPostOff = u32view(tpoSec.data(r.data))
+	r.tagPostOrds = u32view(tpSec.data(r.data))
+	if err := checkOffsets(r.tagPostOff, uint32(n), "tag postings offsets", tpoSec.off); err != nil {
+		return err
+	}
+	nodeTags := u32view(mustGet(get, secNodeTags).data(r.data))
+	for t := 0; t < len(r.tags); t++ {
+		g := r.tagPostOrds[r.tagPostOff[t]:r.tagPostOff[t+1]]
+		for j, o := range g {
+			if int(o) >= n || int(nodeTags[o]) != t || (j > 0 && g[j-1] >= o) {
+				return fmt.Errorf("store: tag postings for %q are not ascending ordinals of that tag (entry %d, section at offset %d)",
+					r.tags[t], j, tpSec.off)
+			}
+		}
+	}
+
+	vtSec, err := get(secValPostTags)
+	if err != nil {
+		return err
+	}
+	vkoSec, err := get(secValPostKeyOff)
+	if err != nil {
+		return err
+	}
+	vkSec, err := get(secValPostKeys)
+	if err != nil {
+		return err
+	}
+	vpoSec, err := get(secValPostOff)
+	if err != nil {
+		return err
+	}
+	vpSec, err := get(secValPostOrds)
+	if err != nil {
+		return err
+	}
+	v := int(vtSec.count)
+	if vkoSec.count != uint64(v)+1 || vpoSec.count != uint64(v)+1 {
+		return fmt.Errorf("store: value postings hold %d keys but %d key offsets and %d postings offsets",
+			v, vkoSec.count, vpoSec.count)
+	}
+	r.valTags = u32view(vtSec.data(r.data))
+	r.valKeyOff = u32view(vkoSec.data(r.data))
+	r.valKeys = vkSec.data(r.data)
+	r.valPostOff = u32view(vpoSec.data(r.data))
+	r.valPostOrds = u32view(vpSec.data(r.data))
+	if err := checkOffsets(r.valKeyOff, uint32(vkSec.len), "value postings key offsets", vkoSec.off); err != nil {
+		return err
+	}
+	if err := checkOffsets(r.valPostOff, uint32(vpSec.count), "value postings offsets", vpoSec.off); err != nil {
+		return err
+	}
+	for k := 0; k < v; k++ {
+		if int(r.valTags[k]) >= len(r.tags) {
+			return fmt.Errorf("store: value postings key %d has tag id %d, only %d tags (section at offset %d)",
+				k, r.valTags[k], len(r.tags), vtSec.off)
+		}
+		if k > 0 {
+			prev := byteString(r.valKeys[r.valKeyOff[k-1]:r.valKeyOff[k]])
+			cur := byteString(r.valKeys[r.valKeyOff[k]:r.valKeyOff[k+1]])
+			if r.valTags[k-1] > r.valTags[k] || (r.valTags[k-1] == r.valTags[k] && prev >= cur) {
+				return fmt.Errorf("store: value postings keys are not sorted at entry %d (section at offset %d)", k, vkSec.off)
+			}
+		}
+		if r.valPostOff[k] == r.valPostOff[k+1] {
+			return fmt.Errorf("store: value postings key %d has an empty postings list (section at offset %d)", k, vpoSec.off)
+		}
+		g := r.valPostOrds[r.valPostOff[k]:r.valPostOff[k+1]]
+		for j, o := range g {
+			if int(o) >= n || nodeTags[o] != r.valTags[k] || (j > 0 && g[j-1] >= o) {
+				return fmt.Errorf("store: value postings for key %d are not ascending ordinals of its tag (entry %d, section at offset %d)",
+					k, j, vpSec.off)
+			}
+		}
+	}
+	return nil
+}
+
+// mustGet is get for sections already validated present.
+func mustGet(get func(uint32) (section, error), kind uint32) section {
+	s, _ := get(kind)
+	return s
+}
+
+// checkOffsets validates a prefix-sum offsets array: starts at zero,
+// never decreases, ends exactly at limit.
+func checkOffsets(off []uint32, limit uint32, what string, at uint64) error {
+	if len(off) == 0 || off[0] != 0 || off[len(off)-1] != limit {
+		return fmt.Errorf("store: %s do not span [0, %d) (section at offset %d)", what, limit, at)
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i-1] > off[i] {
+			return fmt.Errorf("store: %s decrease at entry %d (section at offset %d)", what, i, at)
+		}
+	}
+	return nil
+}
+
+// loadSynopsis rebuilds the structure synopsis. The small trie columns
+// are materialized (tag ids mapped back to synopsis tag indices); the
+// dominant statistic arrays alias the snapshot via synopsis.Unflatten.
+func (r *SnapshotReader) loadSynopsis(get func(uint32) (section, error)) error {
+	need := func(kind uint32) ([]byte, uint64, error) {
+		s, err := get(kind)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s.data(r.data), s.count, nil
+	}
+	metaB, metaCnt, err := need(secSynMeta)
+	if err != nil {
+		return err
+	}
+	if metaCnt < 1 {
+		return fmt.Errorf("store: synopsis meta section is empty")
+	}
+	idsB, st, err := need(secSynTagIDs)
+	if err != nil {
+		return err
+	}
+	cntB, cnt2, err := need(secSynTagCount)
+	if err != nil {
+		return err
+	}
+	valB, cnt3, err := need(secSynTagValued)
+	if err != nil {
+		return err
+	}
+	ppB, np, err := need(secSynPathParent)
+	if err != nil {
+		return err
+	}
+	ptB, np2, err := need(secSynPathTag)
+	if err != nil {
+		return err
+	}
+	pcB, np3, err := need(secSynPathCount)
+	if err != nil {
+		return err
+	}
+	dpB, ndc, err := need(secSynDescPath)
+	if err != nil {
+		return err
+	}
+	dtB, ndc2, err := need(secSynDescTag)
+	if err != nil {
+		return err
+	}
+	doB, ndo, err := need(secSynDescOff)
+	if err != nil {
+		return err
+	}
+	arrB, _, err := need(secSynArrays)
+	if err != nil {
+		return err
+	}
+	if cnt2 != st || cnt3 != st || np2 != np || np3 != np || ndc2 != ndc || ndo != ndc+1 {
+		return fmt.Errorf("store: synopsis sections disagree on their counts")
+	}
+	ids := u32view(idsB)
+	synIdx := make(map[uint32]int32, len(ids))
+	f := &synopsis.Flat{
+		NodeCount: int(s64view(metaB)[0]),
+		Tags:      make([]string, len(ids)),
+		TagCount:  intview(cntB),
+		TagValued: intview(valB),
+		PathCount: s64view(pcB),
+		DescOff:   s64view(doB),
+		Arrays:    intview(arrB),
+	}
+	for i, id := range ids {
+		if int(id) >= len(r.tags) {
+			return fmt.Errorf("store: synopsis tag %d has tag id %d, only %d tags", i, id, len(r.tags))
+		}
+		f.Tags[i] = r.tags[id]
+		synIdx[id] = int32(i)
+	}
+	pp := u32view(ppB)
+	pt := u32view(ptB)
+	f.PathParent = make([]int32, len(pp))
+	f.PathTag = make([]int32, len(pp))
+	for i := range pp {
+		f.PathParent[i] = int32(pp[i]) - 1
+		idx, ok := synIdx[pt[i]]
+		if !ok {
+			return fmt.Errorf("store: synopsis path %d names tag id %d outside the synopsis tag table", i, pt[i])
+		}
+		f.PathTag[i] = idx
+	}
+	dp := u32view(dpB)
+	dt := u32view(dtB)
+	f.DescPath = make([]int32, len(dp))
+	f.DescTag = make([]int32, len(dp))
+	for i := range dp {
+		f.DescPath[i] = int32(dp[i])
+		idx, ok := synIdx[dt[i]]
+		if !ok {
+			return fmt.Errorf("store: synopsis desc %d names tag id %d outside the synopsis tag table", i, dt[i])
+		}
+		f.DescTag[i] = idx
+	}
+	syn, err := synopsis.Unflatten(f)
+	if err != nil {
+		return fmt.Errorf("store: persisted synopsis rejected: %w", err)
+	}
+	r.syn = syn
+	return nil
+}
+
+// registerKeyword records a keyword section by its scope tag; the
+// payload is parsed lazily at the first Keyword call. Only the fixed
+// 24-byte payload header is touched here. Runs after loadTags.
+func (r *SnapshotReader) registerKeyword(s section) error {
+	b := s.data(r.data)
+	if len(b) < 24 {
+		return fmt.Errorf("store: keyword section at offset %d is %d bytes, need a 24-byte header", s.off, len(b))
+	}
+	id := u32view(b[:4])[0]
+	if int(id) >= len(r.tags) {
+		return fmt.Errorf("store: keyword section at offset %d scopes tag id %d, only %d tags", s.off, id, len(r.tags))
+	}
+	if _, dup := r.keywordSec[r.tags[id]]; dup {
+		return fmt.Errorf("store: duplicate keyword section for scope %q (offset %d)", r.tags[id], s.off)
+	}
+	r.keywordSec[r.tags[id]] = s
+	return nil
+}
+
+// Keyword unflattens the persisted keyword index for the scope tag.
+// Returns (nil, false, nil) when the snapshot holds none. The heavy
+// arrays (entry ordinals, term frequencies, the word blob) alias the
+// snapshot; only the per-word maps are rebuilt.
+func (r *SnapshotReader) Keyword(scopeTag string) (*keyword.Index, bool, error) {
+	s, ok := r.keywordSec[scopeTag]
+	if !ok {
+		return nil, false, nil
+	}
+	b := s.data(r.data)
+	hdr := u32view(b[:24])
+	scopeCnt, wordCnt, entryCnt, blobLen := int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4])
+	want := 24 + 4*(scopeCnt+2*(wordCnt+1)+2*entryCnt) + blobLen
+	if scopeCnt < 0 || wordCnt < 0 || entryCnt < 0 || blobLen < 0 || len(b) != want {
+		return nil, true, fmt.Errorf("store: keyword section for %q is %d bytes, header implies %d (offset %d)",
+			scopeTag, len(b), want, s.off)
+	}
+	p := 24
+	take := func(n int) []byte {
+		out := b[p : p+4*n]
+		p += 4 * n
+		return out
+	}
+	f := &keyword.Flat{
+		ScopeTag:  scopeTag,
+		ScopeOrds: i32view(take(scopeCnt)),
+		WordOff:   i32view(take(wordCnt + 1)),
+		PostOff:   i32view(take(wordCnt + 1)),
+		EntryOrd:  i32view(take(entryCnt)),
+		EntryTF:   i32view(take(entryCnt)),
+	}
+	f.Words = byteString(b[p : p+blobLen])
+	r.ensureDoc()
+	ix, err := keyword.Unflatten(r.doc, f)
+	if err != nil {
+		return nil, true, fmt.Errorf("store: persisted keyword index for %q rejected: %w", scopeTag, err)
+	}
+	return ix, true, nil
+}
+
+// loadLayouts parses the persisted shard layouts.
+func (r *SnapshotReader) loadLayouts(spines, unitSecs map[int32]section) error {
+	n := r.n
+	for p := range unitSecs {
+		if _, ok := spines[p]; !ok {
+			// An empty spine (p=1) may be elided; synthesize a zero-length entry.
+			spines[p] = section{kind: secShardSpine, shard: p}
+		}
+	}
+	for p, sp := range spines {
+		if p < 1 {
+			return fmt.Errorf("store: shard layout for invalid shard count %d (section at offset %d)", p, sp.off)
+		}
+		us, ok := unitSecs[p]
+		if !ok {
+			return fmt.Errorf("store: shard layout for p=%d has a spine but no units section", p)
+		}
+		lay := ShardLayout{P: int(p)}
+		if sp.len > 0 {
+			for _, o := range u32view(sp.data(r.data)) {
+				if int(o) >= n {
+					return fmt.Errorf("store: shard spine for p=%d names ordinal %d of %d nodes (offset %d)", p, o, n, sp.off)
+				}
+				lay.Spine = append(lay.Spine, int(o))
+			}
+		}
+		words := u32view(us.data(r.data))
+		for len(words) > 0 {
+			cnt := int(words[0])
+			words = words[1:]
+			if cnt < 0 || cnt > len(words) {
+				return fmt.Errorf("store: shard units for p=%d truncated (offset %d)", p, us.off)
+			}
+			part := make([]int, cnt)
+			for i := 0; i < cnt; i++ {
+				if int(words[i]) >= n {
+					return fmt.Errorf("store: shard unit for p=%d names ordinal %d of %d nodes (offset %d)", p, words[i], n, us.off)
+				}
+				part[i] = int(words[i])
+			}
+			words = words[cnt:]
+			lay.Units = append(lay.Units, part)
+		}
+		if len(lay.Units) != int(p) {
+			return fmt.Errorf("store: shard layout for p=%d holds %d part lists (offset %d)", p, len(lay.Units), us.off)
+		}
+		r.layouts[int(p)] = lay
+	}
+	return nil
+}
+
+// ---- index.Source ----------------------------------------------------
+
+// Nodes returns all nodes with the tag in document order, materializing
+// the pointer slice once per tag.
+// +whirllint:allocok cache fill on the first plan-time Nodes call per tag; probes use AppendCandidates
+func (r *SnapshotReader) Nodes(tag string) []*xmltree.Node {
+	r.ensureDoc()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cached, ok := r.matTag[tag]; ok {
+		return cached
+	}
+	var out []*xmltree.Node
+	if t, ok := r.tagIDs[tag]; ok {
+		g := r.tagPostOrds[r.tagPostOff[t]:r.tagPostOff[t+1]]
+		out = make([]*xmltree.Node, len(g))
+		for i, o := range g {
+			out[i] = &r.nodes[o]
+		}
+	}
+	r.matTag[tag] = out
+	return out
+}
+
+// NodesMatching returns the tag nodes satisfying vt in document order.
+// +whirllint:allocok cache fill on the first probe of a (tag, predicate) pair; steady-state hits are allocation-free
+func (r *SnapshotReader) NodesMatching(tag string, vt index.ValueTest) []*xmltree.Node {
+	if vt.Any() {
+		return r.Nodes(tag)
+	}
+	key := tag + "\x01" + vt.Op + "\x01" + vt.Value
+	r.ensureDoc()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cached, ok := r.filtered[key]; ok {
+		return cached
+	}
+	var out []*xmltree.Node
+	t, ok := r.tagIDs[tag]
+	if ok && vt.IsEquality() {
+		if k := r.findValKey(uint32(t), vt.Value); k >= 0 {
+			g := r.valPostOrds[r.valPostOff[k]:r.valPostOff[k+1]]
+			out = make([]*xmltree.Node, len(g))
+			for i, o := range g {
+				out[i] = &r.nodes[o]
+			}
+		}
+	} else if ok {
+		for _, o := range r.tagPostOrds[r.tagPostOff[t]:r.tagPostOff[t+1]] {
+			if vt.Matches(r.nodes[o].Value) {
+				out = append(out, &r.nodes[o])
+			}
+		}
+	}
+	r.filtered[key] = out
+	return out
+}
+
+// CountTag returns the number of nodes with the tag — one subtraction
+// on the mapped offsets array.
+func (r *SnapshotReader) CountTag(tag string) int {
+	t, ok := r.tagIDs[tag]
+	if !ok {
+		return 0
+	}
+	return int(r.tagPostOff[t+1] - r.tagPostOff[t])
+}
+
+// Candidates returns the candidates on the axis of anchor.
+func (r *SnapshotReader) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	return r.AppendCandidates(nil, anchor, axis, tag, vt)
+}
+
+// AppendCandidates serves a structural probe straight from the mapped
+// postings: a node's strict descendants are the contiguous ordinal
+// interval (ord, ord+subtree), so a Descendant probe is two binary
+// searches on the tag's (or key's) sorted ordinal group plus appends —
+// no decode, no per-probe allocation, pages shared across processes.
+// +whirllint:hotpath
+func (r *SnapshotReader) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	switch axis {
+	case dewey.Self:
+		if anchor.Tag == tag && vt.Matches(anchor.Value) {
+			return append(dst, anchor)
+		}
+		return dst
+	case dewey.Child:
+		for _, c := range anchor.Children {
+			if c.Tag == tag && vt.Matches(c.Value) {
+				dst = append(dst, c)
+			}
+		}
+		return dst
+	case dewey.Descendant:
+		return r.appendDescendants(dst, anchor, tag, vt)
+	default:
+		return dst
+	}
+}
+
+// appendDescendants appends the tag nodes satisfying vt inside anchor's
+// descendant interval.
+// +whirllint:hotpath
+func (r *SnapshotReader) appendDescendants(dst []*xmltree.Node, anchor *xmltree.Node, tag string, vt index.ValueTest) []*xmltree.Node {
+	t, ok := r.tagIDs[tag]
+	if !ok || uint(anchor.Ord) >= uint(len(r.subtree)) {
+		return dst
+	}
+	aLo := uint32(anchor.Ord)
+	aHi := aLo + r.subtree[anchor.Ord]
+	var g []uint32
+	if vt.IsEquality() {
+		k := r.findValKey(uint32(t), vt.Value)
+		if k < 0 {
+			return dst
+		}
+		g = r.valPostOrds[r.valPostOff[k]:r.valPostOff[k+1]]
+	} else {
+		g = r.tagPostOrds[r.tagPostOff[t]:r.tagPostOff[t+1]]
+	}
+	lo := lowerBound(g, aLo+1)
+	hi := lowerBound(g, aHi)
+	if vt.Any() || vt.IsEquality() {
+		for _, o := range g[lo:hi] {
+			dst = append(dst, &r.nodes[o])
+		}
+		return dst
+	}
+	for _, o := range g[lo:hi] {
+		if vt.Matches(r.nodes[o].Value) {
+			dst = append(dst, &r.nodes[o])
+		}
+	}
+	return dst
+}
+
+// countCandidates counts without materializing; the Descendant/Any and
+// Descendant/equality cases are pure interval arithmetic on the mapped
+// arrays.
+// +whirllint:hotpath
+func (r *SnapshotReader) countCandidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) int {
+	switch axis {
+	case dewey.Self:
+		if anchor.Tag == tag && vt.Matches(anchor.Value) {
+			return 1
+		}
+		return 0
+	case dewey.Child:
+		cnt := 0
+		for _, c := range anchor.Children {
+			if c.Tag == tag && vt.Matches(c.Value) {
+				cnt++
+			}
+		}
+		return cnt
+	case dewey.Descendant:
+		t, ok := r.tagIDs[tag]
+		if !ok || uint(anchor.Ord) >= uint(len(r.subtree)) {
+			return 0
+		}
+		aLo := uint32(anchor.Ord)
+		aHi := aLo + r.subtree[anchor.Ord]
+		var g []uint32
+		if vt.IsEquality() {
+			k := r.findValKey(uint32(t), vt.Value)
+			if k < 0 {
+				return 0
+			}
+			g = r.valPostOrds[r.valPostOff[k]:r.valPostOff[k+1]]
+		} else {
+			g = r.tagPostOrds[r.tagPostOff[t]:r.tagPostOff[t+1]]
+		}
+		lo := lowerBound(g, aLo+1)
+		hi := lowerBound(g, aHi)
+		if vt.Any() || vt.IsEquality() {
+			return hi - lo
+		}
+		cnt := 0
+		for _, o := range g[lo:hi] {
+			if vt.Matches(r.nodes[o].Value) {
+				cnt++
+			}
+		}
+		return cnt
+	default:
+		return 0
+	}
+}
+
+// Predicate computes database statistics for the component predicate:
+// one interval count per rootTag node, all on mapped arrays.
+func (r *SnapshotReader) Predicate(rootTag string, axis dewey.Axis, tag string, vt index.ValueTest) index.PredicateStats {
+	st := index.PredicateStats{}
+	t, ok := r.tagIDs[rootTag]
+	if !ok {
+		return st
+	}
+	r.ensureDoc()
+	roots := r.tagPostOrds[r.tagPostOff[t]:r.tagPostOff[t+1]]
+	st.RootCount = len(roots)
+	for _, o := range roots {
+		tf := r.countCandidates(&r.nodes[o], axis, tag, vt)
+		if tf > 0 {
+			st.Satisfying++
+			st.TotalPairs += tf
+			if tf > st.MaxTF {
+				st.MaxTF = tf
+			}
+		}
+	}
+	return st
+}
+
+// TF returns Definition 4.3's term frequency for node n.
+// +whirllint:hotpath
+func (r *SnapshotReader) TF(n *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) int {
+	return r.countCandidates(n, axis, tag, vt)
+}
+
+// findValKey binary-searches the (tag, value) key table; -1 when the
+// key does not exist. The probe compares against the mapped key blob
+// without allocating.
+// +whirllint:hotpath
+func (r *SnapshotReader) findValKey(t uint32, value string) int {
+	lo, hi := 0, len(r.valTags)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		mt := r.valTags[m]
+		if mt < t {
+			lo = m + 1
+			continue
+		}
+		if mt > t {
+			hi = m
+			continue
+		}
+		k := byteString(r.valKeys[r.valKeyOff[m]:r.valKeyOff[m+1]])
+		switch {
+		case k < value:
+			lo = m + 1
+		case k > value:
+			hi = m
+		default:
+			return m
+		}
+	}
+	return -1
+}
+
+// lowerBound returns the first index i with g[i] >= x. Hand-rolled so
+// the probe loop carries no closure.
+// +whirllint:hotpath
+func lowerBound(g []uint32, x uint32) int {
+	lo, hi := 0, len(g)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if g[m] < x {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// ---- per-part source -------------------------------------------------
+
+// PartSource serves one shard's view of the snapshot. Because shard
+// parts hold complete subtrees with global ordinals, every probe
+// anchored at a part node is answered by the global mapped postings
+// unchanged; only whole-part enumerations (Nodes, Predicate roots)
+// intersect the global groups with the part's unit intervals.
+type PartSource struct {
+	r     *SnapshotReader
+	units []*xmltree.Node
+
+	mu       sync.Mutex
+	matTag   map[string][]*xmltree.Node
+	filtered map[string][]*xmltree.Node
+}
+
+var _ index.Source = (*PartSource)(nil)
+
+// PartSource wires a source over the part whose unit roots have the
+// given global ordinals (one entry of a persisted ShardLayout).
+func (r *SnapshotReader) PartSource(unitOrds []int) (*PartSource, error) {
+	r.ensureDoc()
+	units := make([]*xmltree.Node, len(unitOrds))
+	for i, o := range unitOrds {
+		if o < 0 || o >= len(r.nodes) {
+			return nil, fmt.Errorf("store: part unit ordinal %d outside the %d-node document", o, len(r.nodes))
+		}
+		units[i] = &r.nodes[o]
+	}
+	return &PartSource{
+		r:        r,
+		units:    units,
+		matTag:   make(map[string][]*xmltree.Node),
+		filtered: make(map[string][]*xmltree.Node),
+	}, nil
+}
+
+// Units returns the part's unit roots (global nodes, document order).
+func (p *PartSource) Units() []*xmltree.Node { return p.units }
+
+// appendUnitRange appends the part's members of group g satisfying vt.
+func (p *PartSource) appendUnitRange(dst []*xmltree.Node, g []uint32, vt index.ValueTest) []*xmltree.Node {
+	for _, u := range p.units {
+		uLo := uint32(u.Ord)
+		uHi := uLo + p.r.subtree[u.Ord]
+		lo := lowerBound(g, uLo)
+		hi := lowerBound(g, uHi)
+		for _, o := range g[lo:hi] {
+			if vt.Any() || vt.Matches(p.r.nodes[o].Value) {
+				dst = append(dst, &p.r.nodes[o])
+			}
+		}
+	}
+	return dst
+}
+
+// Nodes returns the part's nodes with the tag in document order.
+// +whirllint:allocok cache fill on the first plan-time Nodes call per tag; probes use AppendCandidates
+func (p *PartSource) Nodes(tag string) []*xmltree.Node {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cached, ok := p.matTag[tag]; ok {
+		return cached
+	}
+	var out []*xmltree.Node
+	if t, ok := p.r.tagIDs[tag]; ok {
+		g := p.r.tagPostOrds[p.r.tagPostOff[t]:p.r.tagPostOff[t+1]]
+		out = p.appendUnitRange(out, g, index.ValueTest{})
+	}
+	p.matTag[tag] = out
+	return out
+}
+
+// NodesMatching returns the part's tag nodes satisfying vt.
+// +whirllint:allocok cache fill on the first probe of a (tag, predicate) pair; steady-state hits are allocation-free
+func (p *PartSource) NodesMatching(tag string, vt index.ValueTest) []*xmltree.Node {
+	if vt.Any() {
+		return p.Nodes(tag)
+	}
+	key := tag + "\x01" + vt.Op + "\x01" + vt.Value
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cached, ok := p.filtered[key]; ok {
+		return cached
+	}
+	var out []*xmltree.Node
+	if t, ok := p.r.tagIDs[tag]; ok {
+		if vt.IsEquality() {
+			if k := p.r.findValKey(uint32(t), vt.Value); k >= 0 {
+				g := p.r.valPostOrds[p.r.valPostOff[k]:p.r.valPostOff[k+1]]
+				out = p.appendUnitRange(out, g, index.ValueTest{})
+			}
+		} else {
+			g := p.r.tagPostOrds[p.r.tagPostOff[t]:p.r.tagPostOff[t+1]]
+			out = p.appendUnitRange(out, g, vt)
+		}
+	}
+	p.filtered[key] = out
+	return out
+}
+
+// CountTag counts the part's nodes with the tag: two binary searches
+// per unit on the mapped group.
+func (p *PartSource) CountTag(tag string) int {
+	t, ok := p.r.tagIDs[tag]
+	if !ok {
+		return 0
+	}
+	g := p.r.tagPostOrds[p.r.tagPostOff[t]:p.r.tagPostOff[t+1]]
+	cnt := 0
+	for _, u := range p.units {
+		uLo := uint32(u.Ord)
+		uHi := uLo + p.r.subtree[u.Ord]
+		cnt += lowerBound(g, uHi) - lowerBound(g, uLo)
+	}
+	return cnt
+}
+
+// Candidates returns the candidates on the axis of anchor.
+func (p *PartSource) Candidates(anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	return p.AppendCandidates(nil, anchor, axis, tag, vt)
+}
+
+// AppendCandidates delegates to the global mapped postings: a part
+// anchor's descendant interval lies wholly inside the part, so the
+// global answer IS the part answer.
+// +whirllint:hotpath
+func (p *PartSource) AppendCandidates(dst []*xmltree.Node, anchor *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) []*xmltree.Node {
+	return p.r.AppendCandidates(dst, anchor, axis, tag, vt)
+}
+
+// Predicate computes the statistics over the part's rootTag nodes.
+func (p *PartSource) Predicate(rootTag string, axis dewey.Axis, tag string, vt index.ValueTest) index.PredicateStats {
+	st := index.PredicateStats{}
+	t, ok := p.r.tagIDs[rootTag]
+	if !ok {
+		return st
+	}
+	g := p.r.tagPostOrds[p.r.tagPostOff[t]:p.r.tagPostOff[t+1]]
+	for _, u := range p.units {
+		uLo := uint32(u.Ord)
+		uHi := uLo + p.r.subtree[u.Ord]
+		lo := lowerBound(g, uLo)
+		hi := lowerBound(g, uHi)
+		st.RootCount += hi - lo
+		for _, o := range g[lo:hi] {
+			tf := p.r.countCandidates(&p.r.nodes[o], axis, tag, vt)
+			if tf > 0 {
+				st.Satisfying++
+				st.TotalPairs += tf
+				if tf > st.MaxTF {
+					st.MaxTF = tf
+				}
+			}
+		}
+	}
+	return st
+}
+
+// TF returns the term frequency for node n.
+// +whirllint:hotpath
+func (p *PartSource) TF(n *xmltree.Node, axis dewey.Axis, tag string, vt index.ValueTest) int {
+	return p.r.countCandidates(n, axis, tag, vt)
+}

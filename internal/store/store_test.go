@@ -2,7 +2,9 @@ package store
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/dewey"
@@ -163,6 +165,50 @@ func TestCorruptionDetected(t *testing.T) {
 	}
 	if _, err := Parse(nil); err == nil {
 		t.Fatal("empty input should error")
+	}
+}
+
+// TestCorruptionErrorsCarryOffsets pins the debuggability contract: a
+// short read or corrupt field names the absolute file offset and the
+// section being decoded, never a bare EOF.
+func TestCorruptionErrorsCarryOffsets(t *testing.T) {
+	doc := genDoc(t, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for cut := 5; cut < len(raw); cut += len(raw) / 7 {
+		_, err := Parse(raw[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d should error", cut)
+		}
+		if !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("truncation at %d: error lacks offset context: %v", cut, err)
+		}
+	}
+
+	// A snapshot whose postings span is truncated mid-list must name the
+	// absolute offset of the corrupt varint, not one relative to the span.
+	r, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp span
+	for _, s := range r.tagPost {
+		if s.count > 0 {
+			sp = s
+			break
+		}
+	}
+	if sp.count == 0 {
+		t.Fatal("no non-empty postings span")
+	}
+	if _, err := decodeOrds(raw[sp.start:sp.start], sp.count, sp.start); err == nil {
+		t.Fatal("truncated postings should error")
+	} else if !strings.Contains(err.Error(), fmt.Sprintf("offset %d", sp.start)) {
+		t.Fatalf("postings error should name absolute offset %d: %v", sp.start, err)
 	}
 }
 

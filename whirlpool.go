@@ -160,6 +160,11 @@ const (
 type Database struct {
 	doc *Document
 	ix  index.Source
+	// snap is non-nil when the database serves from an mmapped v2
+	// snapshot (see OpenSnapshot): postings, synopsis, keyword indexes
+	// and shard layouts come from the mapped file instead of being
+	// rebuilt.
+	snap *store.SnapshotReader
 
 	mu sync.Mutex
 	// sharded caches one ShardedDatabase per shard count, built lazily
@@ -231,15 +236,97 @@ func (db *Database) Save(path string) error {
 	return store.Save(path, db.doc)
 }
 
-// Open loads a database snapshot previously written by Save. Postings
-// lists are decoded lazily, so queries only touch the access paths they
-// probe.
+// Open loads a database snapshot previously written by Save or
+// SaveSnapshot, sniffing the format from the file's magic: v2 mmap
+// snapshots are served zero-copy via OpenSnapshot, legacy v1 snapshots
+// through the lazy-decoding reader.
 func Open(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	n, _ := io.ReadFull(f, magic[:])
+	f.Close()
+	if store.IsSnapshot(magic[:n]) {
+		return OpenSnapshot(path)
+	}
 	r, err := store.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	return &Database{doc: r.Document(), ix: r}, nil
+}
+
+// SnapshotOptions selects what SaveSnapshot persists beyond the
+// document, its postings and the structure synopsis (always included).
+type SnapshotOptions struct {
+	// Shards lists shard counts to persist partition layouts for; a
+	// database opened from the snapshot assembles those sharded corpora
+	// from the mapped postings without re-partitioning.
+	Shards []int
+	// KeywordScopes lists element tags to persist keyword indexes for,
+	// so BuildKeywordIndex skips the subtree walk and tokenization.
+	KeywordScopes []string
+}
+
+// SaveSnapshot persists the database in the v2 zero-copy snapshot
+// format: a single page-aligned, checksummed file that OpenSnapshot
+// mmaps and serves probes from directly — no parse, no index build, no
+// synopsis build, and one kernel page cache shared by every process
+// that opens it.
+func (db *Database) SaveSnapshot(path string, opts SnapshotOptions) error {
+	snap := &store.Snapshot{Doc: db.doc, Synopsis: db.Synopsis().Flatten()}
+	for _, scope := range opts.KeywordScopes {
+		snap.Keyword = append(snap.Keyword, db.BuildKeywordIndex(scope).Flatten())
+	}
+	for _, p := range opts.Shards {
+		sdb, err := db.shardedFor(p)
+		if err != nil {
+			return err
+		}
+		lay := store.ShardLayout{P: p}
+		for _, s := range sdb.corpus.Spine() {
+			lay.Spine = append(lay.Spine, s.Ord)
+		}
+		for _, part := range sdb.corpus.Parts() {
+			ords := make([]int, len(part.Units))
+			for i, u := range part.Units {
+				ords[i] = u.Ord
+			}
+			lay.Units = append(lay.Units, ords)
+		}
+		snap.Shards = append(snap.Shards, lay)
+	}
+	return store.SaveSnapshot(path, snap)
+}
+
+// OpenSnapshot opens a v2 snapshot written by SaveSnapshot, mapping it
+// read-only and serving queries from the mapped pages. The persisted
+// synopsis (when present) seeds the planner, persisted keyword indexes
+// serve BuildKeywordIndex, and persisted shard layouts let
+// Options.Shards skip partitioning. A checksum or format error is
+// returned as-is so callers can fall back to the XML build path.
+func OpenSnapshot(path string) (*Database, error) {
+	r, err := store.OpenSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{doc: r.Document(), ix: r, snap: r, syn: r.Synopsis()}, nil
+}
+
+// SnapshotBacked reports whether the database serves from an mmapped
+// v2 snapshot.
+func (db *Database) SnapshotBacked() bool { return db.snap != nil }
+
+// Close releases the snapshot mapping, if any. The database must not
+// be used afterwards. Databases not opened from a snapshot need no
+// Close; calling it is a no-op.
+func (db *Database) Close() error {
+	if db.snap != nil {
+		return db.snap.Close()
+	}
+	return nil
 }
 
 // Document returns the underlying parsed document.
@@ -418,7 +505,7 @@ func (db *Database) shardedFor(p int) (*ShardedDatabase, error) {
 	if sdb, ok := db.sharded[p]; ok {
 		return sdb, nil
 	}
-	sdb, err := ShardDocument(db.doc, p)
+	sdb, err := db.buildSharded(p)
 	if err != nil {
 		return nil, err
 	}
@@ -427,6 +514,34 @@ func (db *Database) shardedFor(p int) (*ShardedDatabase, error) {
 	}
 	db.sharded[p] = sdb
 	return sdb, nil
+}
+
+// buildSharded assembles a ShardedDatabase for p shards: from the
+// snapshot's persisted layout when one exists — per-part sources serve
+// straight from the mapped postings, no re-partitioning, no per-part
+// index builds — and by splitting the document otherwise.
+func (db *Database) buildSharded(p int) (*ShardedDatabase, error) {
+	if db.snap != nil {
+		if lay, ok := db.snap.Layout(p); ok {
+			sources := make([]index.Source, len(lay.Units))
+			for i, ords := range lay.Units {
+				ps, err := db.snap.PartSource(ords)
+				if err != nil {
+					return nil, err
+				}
+				sources[i] = ps
+			}
+			corpus, err := shard.FromLayout(db.doc, lay.Spine, lay.Units, sources)
+			if err != nil {
+				return nil, err
+			}
+			if syn := db.snap.Synopsis(); syn != nil {
+				corpus.SetSynopsis(syn)
+			}
+			return &ShardedDatabase{doc: db.doc, corpus: corpus}, nil
+		}
+	}
+	return ShardDocument(db.doc, p)
 }
 
 // CostBasedOrder chooses a static server order a priori from index
@@ -593,8 +708,17 @@ var ErrBadKeywordQuery = keyword.ErrBadQuery
 
 // BuildKeywordIndex indexes the text under every element with scopeTag
 // (e.g. "item"): each such element becomes a candidate answer for
-// KeywordTopK queries, scored Σ idf(word)·tf(word, element).
+// KeywordTopK queries, scored Σ idf(word)·tf(word, element). When the
+// database was opened from a snapshot carrying a keyword index for the
+// scope, it is unflattened from the mapped arrays — no subtree walk, no
+// tokenization; a snapshot without that scope (or a corrupt section)
+// falls back to a fresh build.
 func (db *Database) BuildKeywordIndex(scopeTag string) *KeywordIndex {
+	if db.snap != nil {
+		if ix, ok, err := db.snap.Keyword(scopeTag); ok && err == nil {
+			return ix
+		}
+	}
 	return keyword.Build(db.doc, scopeTag)
 }
 

@@ -1,0 +1,124 @@
+package whirlpool
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// snapshotEquivalenceQueries are the probe queries for the
+// snapshot-vs-build property: a structural query, a value predicate and
+// a deep disjunction, covering tag postings, value postings and the
+// relaxation machinery.
+var snapshotEquivalenceQueries = []string{
+	"//item[./description/parlist and ./mailbox/mail/text]",
+	"//item[./payment = 'Creditcard']",
+	"//item[./description/parlist/listitem and ./shipping]",
+}
+
+// TestSnapshotAnswersMatchBuild is the answer-equivalence property for
+// the mmap snapshot: for every algorithm in {Whirlpool-S, Whirlpool-M},
+// relaxation mode in {exact, relaxed} and shard count in {1, 8}, a
+// database served from an mmapped snapshot must return the same ranked
+// answers (root ordinals and scores) as one built from the XML. Runs
+// under -race in CI, so it also exercises the lazy node-slab
+// materialization and shard assembly from mapped layouts concurrently.
+func TestSnapshotAnswersMatchBuild(t *testing.T) {
+	built, err := GenerateXMark(XMarkOptions{Seed: 3, Items: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "site.wpxs")
+	if err := built.SaveSnapshot(path, SnapshotOptions{Shards: []int{1, 8}, KeywordScopes: []string{"item"}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if !snap.SnapshotBacked() {
+		t.Fatal("OpenSnapshot database not snapshot-backed")
+	}
+
+	algorithms := []Algorithm{WhirlpoolS, WhirlpoolM}
+	for _, alg := range algorithms {
+		for _, relaxed := range []bool{false, true} {
+			for _, shards := range []int{1, 8} {
+				mode := "exact"
+				opts := Exact(10)
+				if relaxed {
+					mode = "relaxed"
+					opts = Approximate(10)
+				}
+				opts.Algorithm = alg
+				opts.Shards = shards
+				name := fmt.Sprintf("%v/%s/shards-%d", alg, mode, shards)
+				t.Run(name, func(t *testing.T) {
+					for _, qs := range snapshotEquivalenceQueries {
+						q := MustParseQuery(qs)
+						want, err := built.TopK(q, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := snap.TopK(q, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(got.Answers) != len(want.Answers) {
+							t.Fatalf("%s: snapshot returned %d answers, build returned %d",
+								qs, len(got.Answers), len(want.Answers))
+						}
+						for i := range want.Answers {
+							if got.Answers[i].Root.Ord != want.Answers[i].Root.Ord {
+								t.Fatalf("%s: answer %d root ord %d != %d",
+									qs, i, got.Answers[i].Root.Ord, want.Answers[i].Root.Ord)
+							}
+							if math.Abs(got.Answers[i].Score-want.Answers[i].Score) > 1e-9 {
+								t.Fatalf("%s: answer %d score %v != %v",
+									qs, i, got.Answers[i].Score, want.Answers[i].Score)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotKeywordMatchesBuild checks the persisted keyword index
+// answers keyword queries identically to one built from the tree walk.
+func TestSnapshotKeywordMatchesBuild(t *testing.T) {
+	built, err := GenerateXMark(XMarkOptions{Seed: 3, Items: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "site.wpxs")
+	if err := built.SaveSnapshot(path, SnapshotOptions{KeywordScopes: []string{"item"}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	wantIx := built.BuildKeywordIndex("item")
+	gotIx := snap.BuildKeywordIndex("item")
+	for _, query := range []string{"gold silver", "shipping will", "creditcard"} {
+		want := wantIx.TopKScan(query, 5)
+		got := gotIx.TopKScan(query, 5)
+		if len(got) != len(want) {
+			t.Fatalf("%q: %d answers != %d", query, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Node.Ord != want[i].Node.Ord {
+				t.Fatalf("%q: answer %d scope %d != %d", query, i, got[i].Node.Ord, want[i].Node.Ord)
+			}
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("%q: answer %d score %v != %v", query, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
